@@ -1,0 +1,42 @@
+"""Engine micro-benchmarks: simulator throughput and analysis kernels.
+
+Not a paper experiment -- these keep the infrastructure honest: the round
+simulator's cost per round, the prefix-sum ring executor's advantage over
+it, and the ``Trim`` procedure's full pairwise sweep.
+"""
+
+from repro.core.cheap import CheapSimultaneous
+from repro.core.fast import Fast, FastSimultaneous
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring
+from repro.lower_bounds.behaviour import behaviour_from_schedule
+from repro.lower_bounds.ring_exec import meeting_round
+from repro.lower_bounds.trim import trimmed_from_algorithm
+from repro.sim.simulator import simulate_rendezvous
+
+
+def test_engine_simulator_round_throughput(benchmark):
+    """Cost of a full two-agent simulation (~400 rounds on this config)."""
+    ring = oriented_ring(24)
+    algorithm = Fast(RingExploration(24), 16)
+    result = benchmark(
+        lambda: simulate_rendezvous(ring, algorithm, labels=(9, 14), starts=(0, 12))
+    )
+    assert result.met
+
+
+def test_engine_ring_executor(benchmark):
+    """The same execution on the prefix-sum executor (orders faster)."""
+    n = 24
+    algorithm = FastSimultaneous(RingExploration(n), 16)
+    vec_a = behaviour_from_schedule(algorithm.schedule(9), n - 1)
+    vec_b = behaviour_from_schedule(algorithm.schedule(14), n - 1)
+    time = benchmark(lambda: meeting_round(vec_a, 0, vec_b, 12, n))
+    assert time is not None
+
+
+def test_engine_trim_sweep(benchmark):
+    """Trim = Theta(L^2 n) pairwise executions over the vectors."""
+    algorithm = CheapSimultaneous(RingExploration(12), 8)
+    trimmed = benchmark(lambda: trimmed_from_algorithm(algorithm, 12))
+    assert len(trimmed.labels) == 8

@@ -1,0 +1,62 @@
+"""EXP-02: Proposition 2.1 -- Algorithm Cheap under arbitrary delays.
+
+Claim: cost at most ``3E`` and time at most ``(2l + 3)E`` (worst case
+``(2L + 1)E``), for every wake-up delay of the second agent.
+"""
+
+from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.tables import Table, format_ratio
+from repro.core.cheap import Cheap
+from repro.exploration import best_exploration
+from repro.graphs.families import oriented_ring, star_graph
+
+LABEL_SPACE = 5
+
+
+def run_experiment():
+    rows = []
+    for name, graph, transitive in (
+        ("ring-12", oriented_ring(12), True),
+        ("star-8", star_graph(8), False),
+    ):
+        exploration = best_exploration(graph)
+        budget = exploration.budget
+        algorithm = Cheap(exploration, LABEL_SPACE)
+        for delay in (0, budget // 2, budget, 2 * budget):
+            sweep = worst_case_sweep(
+                algorithm, graph, name, delays=(delay,), fix_first_start=transitive
+            )
+            rows.append((name, budget, delay, sweep))
+    return rows
+
+
+def test_exp02_cheap_general(benchmark, report):
+    rows = run_experiment()
+    table = Table(
+        "EXP-02  Prop 2.1: Cheap with delays: cost <= 3E, time <= (2L+1)E",
+        ["graph", "E", "delay", "worst cost", "3E", "cost usage",
+         "worst time", "(2L+1)E", "time usage"],
+    )
+    for name, budget, delay, sweep in rows:
+        table.add_row(
+            name, budget, delay,
+            sweep.max_cost, sweep.cost_bound,
+            format_ratio(sweep.max_cost, sweep.cost_bound),
+            sweep.max_time, sweep.time_bound,
+            format_ratio(sweep.max_time, sweep.time_bound),
+        )
+        assert sweep.max_cost <= sweep.cost_bound
+        assert sweep.max_time <= sweep.time_bound
+    report(table)
+    report([
+        "Shape check: the bounds hold uniformly across all delays",
+        "(for delay > E the sleeping agent is found within the first E rounds).",
+    ])
+
+    ring = oriented_ring(12)
+    algorithm = Cheap(best_exploration(ring), LABEL_SPACE)
+    benchmark(
+        lambda: worst_case_sweep(
+            algorithm, ring, "ring-12", delays=(6,), fix_first_start=True
+        )
+    )

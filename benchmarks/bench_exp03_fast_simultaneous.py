@@ -1,0 +1,57 @@
+"""EXP-03: Algorithm Fast with simultaneous start (paper Section 2).
+
+Claim: time at most ``(2 floor(log(L-1)) + 4) E`` -- logarithmic in the
+label space, the paper's "fast end" of the tradeoff.
+"""
+
+from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.tables import Table, format_ratio
+from repro.core.fast import FastSimultaneous
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring
+
+RING_SIZE = 12
+LABEL_SPACES = (4, 8, 16, 32)
+
+
+def run_experiment():
+    ring = oriented_ring(RING_SIZE)
+    exploration = RingExploration(RING_SIZE)
+    rows = []
+    for label_space in LABEL_SPACES:
+        algorithm = FastSimultaneous(exploration, label_space)
+        sweep = worst_case_sweep(
+            algorithm, ring, f"ring-{RING_SIZE}", fix_first_start=True
+        )
+        rows.append((label_space, sweep))
+    return rows
+
+
+def test_exp03_fast_simultaneous(benchmark, report):
+    rows = run_experiment()
+    table = Table(
+        "EXP-03  Fast, simultaneous start: time <= (2 floor(log(L-1)) + 4) E",
+        ["L", "E", "worst time", "bound", "usage", "worst cost", "2x bound"],
+    )
+    for label_space, sweep in rows:
+        table.add_row(
+            label_space, sweep.exploration_budget,
+            sweep.max_time, sweep.time_bound,
+            format_ratio(sweep.max_time, sweep.time_bound),
+            sweep.max_cost, sweep.cost_bound,
+        )
+        assert sweep.max_time <= sweep.time_bound
+        assert sweep.max_cost <= sweep.cost_bound
+    # Shape: doubling L adds at most 2E to the worst time (log growth).
+    times = [sweep.max_time for _, sweep in rows]
+    budget = rows[0][1].exploration_budget
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier <= 2 * budget
+    report(table)
+    report(["Shape check: each doubling of L adds at most 2E rounds -- log growth."])
+
+    ring = oriented_ring(RING_SIZE)
+    algorithm = FastSimultaneous(RingExploration(RING_SIZE), 8)
+    benchmark(
+        lambda: worst_case_sweep(algorithm, ring, "ring-12", fix_first_start=True)
+    )

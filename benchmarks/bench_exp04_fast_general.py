@@ -1,0 +1,56 @@
+"""EXP-04: Proposition 2.2 -- Algorithm Fast under arbitrary delays.
+
+Claim: time at most ``(4 log(L-1) + 9) E`` and cost at most twice that,
+for every wake-up delay.
+"""
+
+from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.tables import Table, format_ratio
+from repro.core.fast import Fast
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring
+
+RING_SIZE = 12
+
+
+def run_experiment():
+    ring = oriented_ring(RING_SIZE)
+    exploration = RingExploration(RING_SIZE)
+    budget = exploration.budget
+    rows = []
+    for label_space in (4, 16):
+        algorithm = Fast(exploration, label_space)
+        for delay in (0, budget, 3 * budget):
+            sweep = worst_case_sweep(
+                algorithm, ring, f"ring-{RING_SIZE}", delays=(delay,),
+                fix_first_start=True,
+            )
+            rows.append((label_space, delay, sweep))
+    return rows
+
+
+def test_exp04_fast_general(benchmark, report):
+    rows = run_experiment()
+    table = Table(
+        "EXP-04  Prop 2.2: Fast with delays: time <= (4 log(L-1) + 9) E, cost <= 2 time",
+        ["L", "delay", "worst time", "time bound", "usage",
+         "worst cost", "cost bound"],
+    )
+    for label_space, delay, sweep in rows:
+        table.add_row(
+            label_space, delay,
+            sweep.max_time, sweep.time_bound,
+            format_ratio(sweep.max_time, sweep.time_bound),
+            sweep.max_cost, sweep.cost_bound,
+        )
+        assert sweep.max_time <= sweep.time_bound
+        assert sweep.max_cost <= sweep.cost_bound
+    report(table)
+
+    ring = oriented_ring(RING_SIZE)
+    algorithm = Fast(RingExploration(RING_SIZE), 8)
+    benchmark(
+        lambda: worst_case_sweep(
+            algorithm, ring, "ring-12", delays=(11,), fix_first_start=True
+        )
+    )

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_expNN_*`` module regenerates one experiment from DESIGN.md's
+index: it sweeps the adversary, prints a measured-vs-paper table (bypassing
+pytest's capture so the table lands in the bench log), and times a
+representative kernel with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a table or list of lines, bypassing output capture."""
+
+    def emit(payload):
+        with capsys.disabled():
+            if hasattr(payload, "render"):
+                print()
+                print(payload.render())
+                print()
+            elif isinstance(payload, str):
+                print(payload)
+            else:
+                print()
+                for line in payload:
+                    print(line)
+                print()
+
+    return emit

@@ -1,0 +1,74 @@
+"""Domain scenario: two inspection robots meeting in a mine.
+
+Run with:  python examples/mine_inspection_robots.py
+
+The paper's introduction motivates rendezvous with "mobile robots
+navigating in a network of corridors in a mine".  This example plays that
+scenario end to end:
+
+* the mine is an irregular corridor network (a random connected graph);
+  intersections are unlabeled, but one corridor at each intersection is
+  marked as port 0 and the rest are numbered clockwise -- the paper's
+  argument for why port numbers are realistic where node ids are not;
+* each robot carries a map of the corridors but does *not* know where it
+  was dropped off, so exploration is the try-all-DFS procedure of
+  Section 1.2 (budget 2n(2n-2));
+* the robots' serial numbers are their labels.
+
+Two deployment policies are compared: Algorithm Cheap when battery (cost)
+is the scarce resource, Algorithm Fast when time-to-data-exchange is.
+"""
+
+import random
+
+from repro.core import Cheap, Fast
+from repro.exploration import TryAllDFS
+from repro.graphs.families import random_connected_graph
+from repro.sim import simulate_rendezvous
+
+NUM_INTERSECTIONS = 9
+EXTRA_CORRIDORS = 3
+LABEL_SPACE = 64  # serial numbers 1..64
+ROBOTS = (17, 42)  # the two deployed robots' serials
+
+
+def main() -> None:
+    rng = random.Random(2014)
+    mine = random_connected_graph(NUM_INTERSECTIONS, EXTRA_CORRIDORS, rng)
+    exploration = TryAllDFS(mine)
+
+    print(f"Mine: {mine.num_nodes} intersections, {mine.num_edges} corridors "
+          "(anonymous, port-labeled)")
+    print(f"Robots {ROBOTS[0]} and {ROBOTS[1]} have maps but unknown drop points:")
+    print(f"  exploration = try-all-DFS, budget E = {exploration.budget} rounds")
+    print()
+
+    drop_points = (2, 7)
+    delay = 15  # robot 2 is deployed 15 rounds later
+
+    for policy, algorithm in (
+        ("battery-first (Cheap)", Cheap(exploration, LABEL_SPACE)),
+        ("latency-first (Fast)", Fast(exploration, LABEL_SPACE)),
+    ):
+        result = simulate_rendezvous(
+            mine, algorithm, labels=ROBOTS, starts=drop_points, delay=delay,
+            provide_position=False,
+        )
+        assert result.met
+        print(f"{policy}:")
+        print(f"  met after {result.time} rounds at intersection "
+              f"{result.meeting_node}")
+        print(f"  corridor traversals: {result.cost} total "
+              f"({result.costs[0]} + {result.costs[1]})")
+        print(f"  paper bounds: time <= {algorithm.time_bound()}, "
+              f"cost <= {algorithm.cost_bound()}")
+        print()
+
+    print("Cheap saves corridor traversals (battery) by waiting; Fast trades")
+    print("extra traversals for a meeting that is logarithmic in the serial-")
+    print("number space. Which policy to deploy is exactly the tradeoff the")
+    print("paper quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Rendezvous when no bound on the network size is known (Conclusion).
+
+Run with:  python examples/unknown_network_size.py
+
+The agents iterate Algorithm Fast with exploration procedures for
+hypothesised sizes 4, 8, 16, ... .  Iterations for too-small hypotheses
+walk in vain; the first sufficient one completes the rendezvous, and the
+geometric budgets telescope so only a constant factor is lost relative
+to knowing E exactly.
+"""
+
+from repro.core import Fast, IteratedDoublingRendezvous
+from repro.core.unknown_e import ring_level_factory
+from repro.exploration import RingExploration
+from repro.graphs import oriented_ring
+from repro.sim import simulate_rendezvous
+
+LABEL_SPACE = 4
+
+
+def main() -> None:
+    print("Iterated doubling on oriented rings of unknown size")
+    print()
+    header = (f"{'n':>4}  {'1st ok level':>12}  {'unknown-E time':>14}  "
+              f"{'known-E time':>12}  {'overhead':>8}")
+    print(header)
+    print("-" * len(header))
+
+    for ring_size in (6, 12, 24, 48, 96):
+        ring = oriented_ring(ring_size)
+        wrapper = IteratedDoublingRendezvous(
+            Fast, ring_level_factory(), LABEL_SPACE, start_level=2, max_level=12
+        )
+        direct = Fast(RingExploration(ring_size), LABEL_SPACE)
+
+        unknown = simulate_rendezvous(
+            ring, wrapper, labels=(2, 3), starts=(0, ring_size // 2)
+        )
+        known = simulate_rendezvous(
+            ring, direct, labels=(2, 3), starts=(0, ring_size // 2)
+        )
+        assert unknown.met and known.met
+        level = wrapper.level_needed(ring_size)
+        print(f"{ring_size:>4}  {level:>12}  {unknown.time:>14}  "
+              f"{known.time:>12}  {unknown.time / known.time:>7.2f}x")
+
+    print()
+    print("The overhead factor stays bounded as n grows: the wasted early")
+    print("iterations cost a geometric series dominated by the final one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro -- a reproduction of Miller & Pelc (PODC 2014),
+"Time Versus Cost Tradeoffs for Deterministic Rendezvous in Networks".
+
+Two mobile agents with distinct labels from ``{1..L}`` must meet at a node
+of an anonymous, port-labeled network.  Given an exploration procedure
+with budget ``E``, the paper gives Algorithm **Cheap** (cost ``O(E)``,
+time ``O(EL)``), Algorithm **Fast** (time and cost ``O(E log L)``) and
+Algorithm **FastWithRelabeling** (cost ``O(E)``, time ``o(EL)``), plus two
+lower bounds showing Cheap and Fast are (almost) exactly the ends of the
+time/cost tradeoff curve.
+
+Quickstart::
+
+    from repro.graphs import oriented_ring
+    from repro.exploration import RingExploration
+    from repro.core import Fast
+    from repro.sim import simulate_rendezvous
+
+    ring = oriented_ring(24)
+    algorithm = Fast(RingExploration(24), label_space=16)
+    result = simulate_rendezvous(ring, algorithm, labels=(5, 12), starts=(0, 11))
+    print(result.summary)
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.core import (
+    Cheap,
+    CheapSimultaneous,
+    Fast,
+    FastSimultaneous,
+    FastWithRelabeling,
+    FastWithRelabelingSimultaneous,
+    IteratedDoublingRendezvous,
+    RendezvousAlgorithm,
+    bounds,
+)
+from repro.exploration import (
+    ExplorationProcedure,
+    KnownMapDFS,
+    RingExploration,
+    UXSExploration,
+    best_exploration,
+)
+from repro.graphs import PortLabeledGraph, oriented_ring
+from repro.sim import (
+    PresenceModel,
+    RendezvousResult,
+    Simulator,
+    simulate_rendezvous,
+    worst_case_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cheap",
+    "CheapSimultaneous",
+    "ExplorationProcedure",
+    "Fast",
+    "FastSimultaneous",
+    "FastWithRelabeling",
+    "FastWithRelabelingSimultaneous",
+    "IteratedDoublingRendezvous",
+    "KnownMapDFS",
+    "PortLabeledGraph",
+    "PresenceModel",
+    "RendezvousAlgorithm",
+    "RendezvousResult",
+    "RingExploration",
+    "Simulator",
+    "UXSExploration",
+    "best_exploration",
+    "bounds",
+    "oriented_ring",
+    "simulate_rendezvous",
+    "worst_case_search",
+    "__version__",
+]

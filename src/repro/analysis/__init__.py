@@ -1,0 +1,27 @@
+"""Analysis tooling: sweeps, tables, tradeoff curves and ASCII plots.
+
+These are the building blocks of the benchmark harness under
+``benchmarks/``: each experiment sweeps a parameter grid with the
+adversary, renders a plain-text table of measured-vs-paper columns, and
+(for curve-shaped claims) an ASCII scatter plot.
+"""
+
+from repro.analysis.tables import Table, format_ratio
+from repro.analysis.sweep import SweepRow, worst_case_sweep
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_points
+from repro.analysis.ascii_plot import scatter_plot
+from repro.analysis.memory import MemoryProfile, counter_bits, dfs_walk_bits, map_bits
+
+__all__ = [
+    "MemoryProfile",
+    "SweepRow",
+    "Table",
+    "TradeoffPoint",
+    "counter_bits",
+    "dfs_walk_bits",
+    "format_ratio",
+    "map_bits",
+    "scatter_plot",
+    "tradeoff_points",
+    "worst_case_sweep",
+]

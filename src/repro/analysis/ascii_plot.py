@@ -1,0 +1,49 @@
+"""Minimal ASCII scatter plots for curve-shaped experiment output.
+
+No plotting dependency is available offline, and the benchmark harness
+prints to terminals anyway; a labelled character grid is enough to show
+curve shapes (who wins, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def scatter_plot(
+    points: Sequence[tuple[float, float, str]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``(x, y, marker)`` points on a character grid.
+
+    Markers are single characters; later points overwrite earlier ones on
+    collisions.  Axes are annotated with min/max values.
+    """
+    if not points:
+        return "(no points)"
+    for _, _, marker in points:
+        if len(marker) != 1:
+            raise ValueError(f"markers must be single characters, got {marker!r}")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_min) / x_span * (width - 1))
+        row = round((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    lines = [f"{y_label} (top={y_max:g}, bottom={y_min:g})"]
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: left={x_min:g}, right={x_max:g}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Replaying adversary-reported configurations.
+
+Every worst-case number in the benchmark tables carries its argmax
+:class:`~repro.sim.adversary.Configuration`.  :func:`replay` re-executes
+it and (optionally) renders the timeline, so reported extremes are one
+function call away from inspection.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import render_timeline
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.validation import is_oriented_ring
+from repro.sim.adversary import Configuration
+from repro.sim.metrics import RendezvousResult
+from repro.sim.program import ProgramFactory
+from repro.sim.simulator import PresenceModel, simulate_rendezvous
+
+
+def replay(
+    graph: PortLabeledGraph,
+    factory: ProgramFactory,
+    config: Configuration,
+    max_rounds: int | None = None,
+    presence: PresenceModel = PresenceModel.FROM_START,
+) -> RendezvousResult:
+    """Re-run one adversarial configuration exactly."""
+    return simulate_rendezvous(
+        graph,
+        factory,
+        labels=config.labels,
+        starts=config.starts,
+        delay=config.delay,
+        max_rounds=max_rounds,
+        presence=presence,
+    )
+
+
+def replay_with_timeline(
+    graph: PortLabeledGraph,
+    factory: ProgramFactory,
+    config: Configuration,
+    max_rounds: int | None = None,
+) -> tuple[RendezvousResult, str]:
+    """Replay and render the space-time diagram (oriented rings only)."""
+    if not is_oriented_ring(graph):
+        raise ValueError("timelines are rendered for oriented rings only")
+    result = replay(graph, factory, config, max_rounds=max_rounds)
+    return result, render_timeline(result, graph.num_nodes)

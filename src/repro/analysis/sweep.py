@@ -1,0 +1,111 @@
+"""Worst-case sweeps: the workhorse behind every benchmark table.
+
+A sweep takes an algorithm instance and a graph, runs the adversary over
+labels x starts x delays, and produces a :class:`SweepRow` holding the
+measured worst time/cost next to the paper's bounds and the argmax
+configurations (so every reported number can be replayed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.base import RendezvousAlgorithm
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.adversary import (
+    Configuration,
+    all_label_pairs,
+    configurations,
+    worst_case_search,
+)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep result: measured extremes vs. declared bounds."""
+
+    algorithm: str
+    graph: str
+    num_nodes: int
+    exploration_budget: int
+    label_space: int
+    max_time: int
+    time_bound: int
+    max_cost: int
+    cost_bound: int
+    executions: int
+    worst_time_config: Configuration
+    worst_cost_config: Configuration
+
+    @property
+    def time_within_bound(self) -> bool:
+        return self.max_time <= self.time_bound
+
+    @property
+    def cost_within_bound(self) -> bool:
+        return self.max_cost <= self.cost_bound
+
+
+def worst_case_sweep(
+    algorithm: RendezvousAlgorithm,
+    graph: PortLabeledGraph,
+    graph_name: str,
+    delays: Sequence[int] = (0,),
+    label_pairs: Iterable[tuple[int, int]] | None = None,
+    fix_first_start: bool = False,
+    sample: int | None = None,
+) -> SweepRow:
+    """Adversarial worst-case search for one (algorithm, graph) cell.
+
+    ``fix_first_start=True`` is only sound on vertex-transitive graphs;
+    callers assert that themselves.  Simultaneous-start-only algorithms
+    reject non-zero delays loudly rather than producing invalid rows.
+    """
+    if algorithm.requires_simultaneous_start and any(d != 0 for d in delays):
+        raise ValueError(
+            f"{algorithm.name} requires simultaneous start; delays {delays} invalid"
+        )
+    if label_pairs is None:
+        label_pairs = all_label_pairs(algorithm.label_space)
+
+    def horizon(config: Configuration) -> int:
+        return config.delay + max(
+            algorithm.schedule_length(config.labels[0]),
+            algorithm.schedule_length(config.labels[1]),
+        )
+
+    report = worst_case_search(
+        graph,
+        algorithm,
+        configurations(
+            graph,
+            label_pairs,
+            delays=delays,
+            fix_first_start=fix_first_start,
+        ),
+        max_rounds=horizon,
+        sample=sample,
+    )
+    if report.failures:
+        first = report.failures[0]
+        raise AssertionError(
+            f"{algorithm.name} failed to meet in {len(report.failures)} "
+            f"configurations, e.g. labels={first.labels} starts={first.starts} "
+            f"delay={first.delay}"
+        )
+    assert report.worst_time is not None and report.worst_cost is not None
+    return SweepRow(
+        algorithm=algorithm.name,
+        graph=graph_name,
+        num_nodes=graph.num_nodes,
+        exploration_budget=algorithm.exploration_budget,
+        label_space=algorithm.label_space,
+        max_time=report.max_time,
+        time_bound=algorithm.time_bound(),
+        max_cost=report.max_cost,
+        cost_bound=algorithm.cost_bound(),
+        executions=report.executions,
+        worst_time_config=report.worst_time.config,
+        worst_cost_config=report.worst_cost.config,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark prints its results through :class:`Table` so the output of
+``pytest benchmarks/`` is directly comparable with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Table:
+    """A fixed-header table accumulating rows, rendered with aligned columns."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([_render_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_ratio(measured: float, bound: float) -> str:
+    """``measured/bound`` as a percentage string, guarded against zero."""
+    if bound == 0:
+        return "n/a"
+    return f"{100.0 * measured / bound:.0f}%"
+
+
+def print_lines(lines: Iterable[str]) -> None:
+    """Print a block of report lines with surrounding blank lines."""
+    print()
+    for line in lines:
+        print(line)
+    print()

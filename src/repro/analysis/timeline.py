@@ -1,0 +1,60 @@
+"""ASCII space-time diagrams of ring executions.
+
+Renders a two-agent execution on an oriented ring as a grid: columns are
+ring nodes, rows are time points, each agent is a letter, a meeting is
+``*``.  Purpose-built for examples, teaching and debugging worst-case
+configurations that the adversary reports.
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import RendezvousResult
+
+
+def render_timeline(
+    result: RendezvousResult,
+    ring_size: int,
+    max_rows: int = 40,
+    markers: str = "AB",
+) -> str:
+    """Render the recorded traces as a space-time grid.
+
+    Rows are sampled evenly if the execution is longer than ``max_rows``.
+    Only meaningful for runs recorded on an oriented ring of ``ring_size``
+    nodes (positions index the columns directly).
+    """
+    if len(result.traces) > len(markers):
+        raise ValueError(
+            f"got {len(result.traces)} traces but only {len(markers)} markers"
+        )
+    horizon = max(len(trace.positions) for trace in result.traces)
+    if result.met and result.time is not None:
+        horizon = min(horizon, result.time + 1)
+
+    time_points = list(range(horizon))
+    if len(time_points) > max_rows:
+        stride = -(-len(time_points) // max_rows)
+        sampled = time_points[::stride]
+        if time_points[-1] not in sampled:
+            sampled.append(time_points[-1])
+        time_points = sampled
+
+    width = len(str(horizon))
+    lines = [f"{'t':>{width}} |" + "".join(str(n % 10) for n in range(ring_size))]
+    lines.append("-" * (width + 2 + ring_size))
+    for t in time_points:
+        row = [" "] * ring_size
+        occupied: dict[int, int] = {}
+        for index, trace in enumerate(result.traces):
+            position = trace.positions[min(t, len(trace.positions) - 1)]
+            if position in occupied:
+                row[position] = "*"
+            else:
+                row[position] = markers[index]
+                occupied[position] = index
+        lines.append(f"{t:>{width}} |" + "".join(row))
+    if result.met:
+        lines.append(
+            f"meeting at node {result.meeting_node}, time {result.time} (*)"
+        )
+    return "\n".join(lines)

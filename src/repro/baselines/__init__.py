@@ -1,0 +1,19 @@
+"""Baselines the paper's algorithms are compared against.
+
+* :class:`~repro.baselines.oracle.OracleBaseline` -- the information-
+  theoretic reference: if agents knew each other's labels, the smaller
+  would wait and the larger explore once (the paper's Section 1.2 remark),
+  giving time and cost exactly one exploration.
+* :class:`~repro.baselines.ring_zigzag.RingZigzag` -- a distance-sensitive
+  oriented-ring algorithm in the style of Dessmark et al. [26]
+  (time ``O(D log L)`` for initial distance ``D``, simultaneous start),
+  used to contrast ``E``-driven with ``D``-driven behaviour.
+* :class:`~repro.baselines.random_walk.RandomWalkRendezvous` -- the
+  classical randomized strategy, as a non-deterministic reference point.
+"""
+
+from repro.baselines.oracle import OracleBaseline
+from repro.baselines.random_walk import RandomWalkRendezvous
+from repro.baselines.ring_zigzag import RingZigzag
+
+__all__ = ["OracleBaseline", "RandomWalkRendezvous", "RingZigzag"]

@@ -1,0 +1,50 @@
+"""The oracle baseline: rendezvous with shared label knowledge.
+
+The paper motivates label-driven symmetry breaking by observing that *if*
+agents knew each other's labels, the smaller-labelled agent could simply
+stay idle while the other explores -- rendezvous would reduce to graph
+exploration (Section 1.2).  Agents do not have that knowledge in the
+model; this baseline grants it anyway to provide the unbeatable reference
+point (time = cost = one exploration with simultaneous start) against
+which the tradeoff curve is plotted.
+"""
+
+from __future__ import annotations
+
+from repro.exploration.base import ExplorationProcedure
+from repro.sim.program import AgentContext, AgentGenerator
+
+
+class OracleBaseline:
+    """Both labels are known: the smaller waits, the larger explores.
+
+    A :data:`~repro.sim.program.ProgramFactory`; construct one per agent
+    pair.  With simultaneous start: time exactly ``E`` (one exploration)
+    and cost at most ``E``.  With delay ``d`` on the larger-labelled
+    agent: time at most ``d + E``.
+    """
+
+    name = "oracle"
+
+    def __init__(self, exploration: ExplorationProcedure, pair: tuple[int, int]):
+        if pair[0] == pair[1]:
+            raise ValueError("the two labels must be distinct")
+        self.exploration = exploration
+        self.pair = pair
+
+    @property
+    def exploration_budget(self) -> int:
+        return self.exploration.budget
+
+    def __call__(self, ctx: AgentContext) -> AgentGenerator:
+        if ctx.label not in self.pair:
+            raise ValueError(f"label {ctx.label} is not part of the pair {self.pair}")
+        obs = yield
+        if ctx.label == max(self.pair):
+            yield from self.exploration.execute(ctx, obs)
+        # The smaller label simply returns: the simulator keeps it idle.
+
+    def schedule_length(self, label: int) -> int:
+        if label not in self.pair:
+            raise ValueError(f"label {label} is not part of the pair {self.pair}")
+        return self.exploration_budget if label == max(self.pair) else 0

@@ -1,0 +1,43 @@
+"""Randomized rendezvous by independent random walks.
+
+The classical randomized strategy (surveyed in Alpern & Gal [5]): both
+agents walk randomly; on bounded-degree graphs the expected meeting time
+is polynomial.  The paper is about *deterministic* rendezvous, so this
+baseline exists purely as a reference point in the tradeoff experiments --
+it has no worst-case guarantee at all and tests only assert statistical
+behaviour.
+
+To avoid correlated walks (which on symmetric graphs may never meet),
+each agent derives its own generator from ``(seed, label)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.actions import WAIT
+from repro.sim.program import AgentContext, AgentGenerator
+
+
+class RandomWalkRendezvous:
+    """Each agent steps to a uniformly random neighbour every round.
+
+    ``lazy`` makes the walk wait with probability 1/2 each round, the
+    standard fix for parity traps (e.g. bipartite graphs where two walks
+    can chase each other forever).
+    """
+
+    name = "random-walk"
+
+    def __init__(self, seed: int = 0, lazy: bool = True):
+        self.seed = seed
+        self.lazy = lazy
+
+    def __call__(self, ctx: AgentContext) -> AgentGenerator:
+        rng = random.Random(f"{self.seed}/{ctx.label}")
+        obs = yield
+        while True:
+            if self.lazy and rng.random() < 0.5:
+                obs = yield WAIT
+            else:
+                obs = yield rng.randrange(obs.degree)

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` -- simulate one rendezvous and print the outcome and traces;
+* ``sweep`` -- adversarial worst-case sweep of an algorithm on a graph;
+* ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
+* ``explore`` -- print the exploration budgets ``E`` for the built-in
+  graph families under each knowledge model.
+
+The CLI is a thin veneer over the library; every command prints exactly
+what the corresponding API returns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.tables import Table, format_ratio, print_lines
+from repro.core import (
+    Cheap,
+    CheapSimultaneous,
+    Fast,
+    FastSimultaneous,
+    FastWithRelabeling,
+    FastWithRelabelingSimultaneous,
+)
+from repro.exploration import KnowledgeModel, best_exploration
+from repro.graphs import (
+    complete_graph,
+    full_binary_tree,
+    hypercube,
+    oriented_ring,
+    path_graph,
+    star_graph,
+    torus_grid,
+)
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.lower_bounds import certify_theorem_31, certify_theorem_32
+from repro.lower_bounds.trim import trimmed_from_algorithm
+from repro.sim import simulate_rendezvous
+
+
+def build_graph(name: str, size: int) -> PortLabeledGraph:
+    """Construct one of the named graph families at roughly ``size`` nodes."""
+    builders = {
+        "ring": lambda: oriented_ring(size),
+        "path": lambda: path_graph(size),
+        "star": lambda: star_graph(size),
+        "complete": lambda: complete_graph(size),
+        "hypercube": lambda: hypercube(max(1, size.bit_length() - 1)),
+        "tree": lambda: full_binary_tree(max(1, size.bit_length() - 1)),
+        "torus": lambda: torus_grid(3, max(3, size // 3)),
+    }
+    if name not in builders:
+        raise SystemExit(f"unknown graph {name!r}; choose from {sorted(builders)}")
+    return builders[name]()
+
+
+def build_algorithm(name: str, graph: PortLabeledGraph, label_space: int, weight: int):
+    """Instantiate an algorithm with the best available exploration."""
+    exploration = best_exploration(graph, KnowledgeModel.MAP_WITH_POSITION)
+    factories = {
+        "cheap": lambda: Cheap(exploration, label_space),
+        "cheap-sim": lambda: CheapSimultaneous(exploration, label_space),
+        "fast": lambda: Fast(exploration, label_space),
+        "fast-sim": lambda: FastSimultaneous(exploration, label_space),
+        "fwr": lambda: FastWithRelabeling(exploration, label_space, weight),
+        "fwr-sim": lambda: FastWithRelabelingSimultaneous(
+            exploration, label_space, weight
+        ),
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def command_run(args: argparse.Namespace) -> int:
+    graph = build_graph(args.graph, args.size)
+    algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
+    result = simulate_rendezvous(
+        graph,
+        algorithm,
+        labels=(args.labels[0], args.labels[1]),
+        starts=(args.starts[0], args.starts[1]),
+        delay=args.delay,
+    )
+    print(f"{algorithm.name} on {args.graph}-{graph.num_nodes} "
+          f"(E={algorithm.exploration_budget}, L={args.label_space})")
+    print(result.summary)
+    if args.verbose:
+        for trace in result.traces:
+            print(f"  agent {trace.label}: start={trace.start_node} "
+                  f"wake={trace.wake_round} moves={trace.moves}")
+            print(f"    positions: {trace.positions}")
+    return 0
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    graph = build_graph(args.graph, args.size)
+    algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
+    delays = (0,) if algorithm.requires_simultaneous_start else tuple(args.delays)
+    row = worst_case_sweep(
+        algorithm,
+        graph,
+        f"{args.graph}-{graph.num_nodes}",
+        delays=delays,
+        fix_first_start=args.graph in ("ring", "complete", "hypercube", "torus"),
+    )
+    table = Table(
+        f"Worst-case sweep: {row.algorithm} on {row.graph} "
+        f"(E={row.exploration_budget}, L={row.label_space}, "
+        f"{row.executions} executions)",
+        ["metric", "measured", "paper bound", "usage"],
+    )
+    table.add_row("time", row.max_time, row.time_bound,
+                  format_ratio(row.max_time, row.time_bound))
+    table.add_row("cost", row.max_cost, row.cost_bound,
+                  format_ratio(row.max_cost, row.cost_bound))
+    table.print()
+    print(f"worst time at {row.worst_time_config}")
+    print(f"worst cost at {row.worst_cost_config}")
+    return 0
+
+
+def command_certify(args: argparse.Namespace) -> int:
+    if args.size % 6 != 0:
+        raise SystemExit("certificates need a ring size divisible by 6")
+    graph = oriented_ring(args.size)
+    algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
+    trimmed = trimmed_from_algorithm(algorithm, args.size)
+    if args.theorem == "3.1":
+        print_lines(certify_theorem_31(trimmed).summary_lines())
+    else:
+        print_lines(certify_theorem_32(trimmed).summary_lines())
+    return 0
+
+
+def command_tradeoff(args: argparse.Namespace) -> int:
+    from repro.analysis.tradeoff import tradeoff_points
+    from repro.core import FastWithRelabelingSimultaneous
+
+    graph = build_graph("ring", args.size)
+    exploration = best_exploration(graph)
+    label_space = args.label_space
+    pairs = [
+        (label_space - 1, label_space),
+        (label_space // 2, label_space // 2 + 1),
+        (1, 2),
+        (1, label_space),
+    ]
+    algorithms = [
+        CheapSimultaneous(exploration, label_space),
+        FastWithRelabelingSimultaneous(exploration, label_space, args.weight),
+        FastSimultaneous(exploration, label_space),
+    ]
+    points = tradeoff_points(
+        algorithms, graph, f"ring-{graph.num_nodes}", label_pairs=pairs
+    )
+    table = Table(
+        f"Tradeoff on the oriented {graph.num_nodes}-ring, L = {label_space} "
+        "(adversarial pairs)",
+        ["strategy", "worst cost", "cost/E", "worst time", "time/E"],
+    )
+    budget = exploration.budget
+    for point in points:
+        table.add_row(
+            point.algorithm, point.max_cost, f"{point.cost_per_e:.1f}",
+            point.max_time, f"{point.time_per_e:.1f}",
+        )
+    table.print()
+    return 0
+
+
+def command_explore(args: argparse.Namespace) -> int:
+    from repro.graphs.families import standard_test_suite
+
+    table = Table(
+        "Exploration budgets E per family and knowledge model (paper Section 1.2)",
+        ["graph", "n", "e", "map+position", "E", "map only", "E "],
+    )
+    rng = random.Random(0)
+    for name, graph in standard_test_suite(rng):
+        with_pos = best_exploration(graph, KnowledgeModel.MAP_WITH_POSITION)
+        without_pos = best_exploration(graph, KnowledgeModel.MAP_WITHOUT_POSITION)
+        table.add_row(
+            name, graph.num_nodes, graph.num_edges,
+            with_pos.name, with_pos.budget, without_pos.name, without_pos.budget,
+        )
+    table.print()
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rendezvous",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", default="ring", help="graph family (default ring)")
+        p.add_argument("--size", type=int, default=12, help="graph size (default 12)")
+        p.add_argument("--algorithm", default="fast",
+                       help="cheap|cheap-sim|fast|fast-sim|fwr|fwr-sim")
+        p.add_argument("--label-space", type=int, default=8, help="L (default 8)")
+        p.add_argument("--weight", type=int, default=2,
+                       help="w for FastWithRelabeling (default 2)")
+
+    run_parser = sub.add_parser("run", help="simulate one rendezvous")
+    common(run_parser)
+    run_parser.add_argument("--labels", type=int, nargs=2, default=(3, 5))
+    run_parser.add_argument("--starts", type=int, nargs=2, default=(0, 5))
+    run_parser.add_argument("--delay", type=int, default=0)
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.set_defaults(func=command_run)
+
+    sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep")
+    common(sweep_parser)
+    sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
+    sweep_parser.set_defaults(func=command_sweep)
+
+    certify_parser = sub.add_parser("certify", help="lower-bound certificate")
+    common(certify_parser)
+    certify_parser.add_argument("--theorem", choices=["3.1", "3.2"], default="3.1")
+    certify_parser.set_defaults(func=command_certify)
+
+    explore_parser = sub.add_parser("explore", help="exploration budget table")
+    explore_parser.set_defaults(func=command_explore)
+
+    tradeoff_parser = sub.add_parser("tradeoff", help="measured tradeoff table")
+    tradeoff_parser.add_argument("--size", type=int, default=12)
+    tradeoff_parser.add_argument("--label-space", type=int, default=64)
+    tradeoff_parser.add_argument("--weight", type=int, default=2)
+    tradeoff_parser.set_defaults(func=command_tradeoff)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

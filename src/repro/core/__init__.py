@@ -1,0 +1,52 @@
+"""The paper's contribution: rendezvous algorithms and their bounds.
+
+Three algorithms (paper Section 2), each in a delay-tolerant version and a
+simultaneous-start version:
+
+* :class:`~repro.core.cheap.Cheap` / :class:`~repro.core.cheap.CheapSimultaneous`
+  -- cost ``O(E)`` (exactly one exploration with simultaneous start), time
+  ``O(EL)``;
+* :class:`~repro.core.fast.Fast` / :class:`~repro.core.fast.FastSimultaneous`
+  -- time and cost ``O(E log L)``;
+* :class:`~repro.core.fast_relabel.FastWithRelabeling` /
+  :class:`~repro.core.fast_relabel.FastWithRelabelingSimultaneous` -- cost
+  ``O(E)`` and time ``o(EL)`` for constant weight functions (Corollary 2.1).
+
+:mod:`repro.core.unknown_e` implements the Conclusion's iterated-doubling
+construction for agents that know no bound ``E``; :mod:`repro.core.bounds`
+collects every closed-form bound from the paper.
+"""
+
+from repro.core.base import RendezvousAlgorithm
+from repro.core.cheap import Cheap, CheapSimultaneous
+from repro.core.fast import Fast, FastSimultaneous
+from repro.core.fast_relabel import FastWithRelabeling, FastWithRelabelingSimultaneous
+from repro.core.labels import binary_bits, modified_label, transform_bits
+from repro.core.relabeling import lex_rank, lex_subset_bits, relabel_bits, smallest_t
+from repro.core.schedule import Schedule, Segment, SegmentKind
+from repro.core.unknown_e import IteratedDoublingRendezvous, ring_level_factory, uxs_level_factory
+from repro.core import bounds
+
+__all__ = [
+    "Cheap",
+    "CheapSimultaneous",
+    "Fast",
+    "FastSimultaneous",
+    "FastWithRelabeling",
+    "FastWithRelabelingSimultaneous",
+    "IteratedDoublingRendezvous",
+    "RendezvousAlgorithm",
+    "Schedule",
+    "Segment",
+    "SegmentKind",
+    "binary_bits",
+    "bounds",
+    "lex_rank",
+    "lex_subset_bits",
+    "modified_label",
+    "relabel_bits",
+    "ring_level_factory",
+    "smallest_t",
+    "transform_bits",
+    "uxs_level_factory",
+]

@@ -1,0 +1,100 @@
+"""Base class shared by all rendezvous algorithms in this library.
+
+A :class:`RendezvousAlgorithm` is constructed from an exploration
+procedure (which fixes ``E``) and the label-space size ``L``.  It is itself
+a :data:`~repro.sim.program.ProgramFactory`: calling it with an
+:class:`~repro.sim.program.AgentContext` yields the agent program for the
+context's label, so an instance can be handed directly to the simulator or
+the adversary.
+
+Subclasses declare the per-label :class:`~repro.core.schedule.Schedule`;
+time/cost bounds come from :mod:`repro.core.bounds`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.exploration.base import ExplorationProcedure
+from repro.core.schedule import Schedule, schedule_body, schedule_program
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, AgentGenerator, SubBehaviour
+
+
+class RendezvousAlgorithm(ABC):
+    """A deterministic rendezvous algorithm parameterised by ``(EXPLORE, L)``."""
+
+    #: Short name used in tables and reports.
+    name: str = "rendezvous"
+
+    #: True for algorithms whose correctness requires simultaneous start
+    #: (the simultaneous-start variants of Section 2).
+    requires_simultaneous_start: bool = False
+
+    def __init__(self, exploration: ExplorationProcedure, label_space: int):
+        if label_space < 2:
+            raise ValueError(
+                f"rendezvous needs at least two labels, got L={label_space}"
+            )
+        self.exploration = exploration
+        self.label_space = label_space
+
+    # ------------------------------------------------------------------
+
+    @property
+    def exploration_budget(self) -> int:
+        """The bound ``E`` the algorithm is instantiated with."""
+        return self.exploration.budget
+
+    def _check_label(self, label: int) -> None:
+        if not 1 <= label <= self.label_space:
+            raise ValueError(
+                f"label {label} outside the label space 1..{self.label_space}"
+            )
+
+    @abstractmethod
+    def schedule(self, label: int) -> Schedule:
+        """The wait/explore schedule executed by agent ``label``."""
+
+    # ------------------------------------------------------------------
+    # Program-factory interface (what the simulator consumes)
+    # ------------------------------------------------------------------
+
+    def __call__(self, ctx: AgentContext) -> AgentGenerator:
+        self._check_label(ctx.label)
+        return schedule_program(self.schedule(ctx.label), self.exploration, ctx)
+
+    def body(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        """The algorithm as a composable sub-behaviour.
+
+        Used by :class:`~repro.core.unknown_e.IteratedDoublingRendezvous`
+        to chain one instance per size estimate.
+        """
+        self._check_label(ctx.label)
+        return schedule_body(self.schedule(ctx.label), self.exploration, ctx, obs)
+
+    def schedule_length(self, label: int) -> int:
+        """Exact number of rounds in agent ``label``'s schedule.
+
+        ``simulate_rendezvous`` uses this to derive a sufficient horizon:
+        a correct algorithm meets before both schedules end.
+        """
+        return self.schedule(label).total_rounds(self.exploration_budget)
+
+    # ------------------------------------------------------------------
+    # Declared complexity (each subclass wires the right formula in)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def time_bound(self, smaller_label: int | None = None) -> int:
+        """The paper's worst-case time bound (label-specific if given)."""
+
+    @abstractmethod
+    def cost_bound(self, smaller_label: int | None = None) -> int:
+        """The paper's worst-case combined-cost bound."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(E={self.exploration_budget}, "
+            f"L={self.label_space})"
+        )

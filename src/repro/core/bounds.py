@@ -1,0 +1,149 @@
+"""Every closed-form bound stated in Section 2 of the paper, as functions.
+
+These are used by the algorithms' ``time_bound``/``cost_bound`` methods, by
+tests (measured value <= formula) and by the benchmark tables (measured
+vs. paper columns).  Formulas follow the paper's statements literally;
+``floor(log2(L - 1))`` terms use ``(L - 1).bit_length() - 1``.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.core.relabeling import smallest_t
+
+
+def _floor_log2(value: int) -> int:
+    """``floor(log2(value))`` for ``value >= 1``; -1 is never produced."""
+    if value < 1:
+        raise ValueError(f"log2 of non-positive value {value}")
+    return value.bit_length() - 1
+
+
+# ----------------------------------------------------------------------
+# Algorithm Cheap (simultaneous-start version, Section 2 prose)
+# ----------------------------------------------------------------------
+
+def cheap_simultaneous_time(smaller_label: int, exploration_budget: int) -> int:
+    """Rendezvous by round ``l * E`` where ``l`` is the smaller label."""
+    return smaller_label * exploration_budget
+
+
+def cheap_simultaneous_cost(exploration_budget: int) -> int:
+    """At most one exploration is performed: cost at most (exactly) ``E``."""
+    return exploration_budget
+
+
+# ----------------------------------------------------------------------
+# Algorithm Cheap, general version (Proposition 2.1)
+# ----------------------------------------------------------------------
+
+def cheap_time(smaller_label: int, exploration_budget: int) -> int:
+    """Proposition 2.1: time at most ``(2l + 3) E``."""
+    return (2 * smaller_label + 3) * exploration_budget
+
+
+def cheap_time_worst(label_space: int, exploration_budget: int) -> int:
+    """Worst case over labels: ``(2L + 1) E`` (smaller label <= L - 1)."""
+    return (2 * label_space + 1) * exploration_budget
+
+
+def cheap_cost(exploration_budget: int) -> int:
+    """Proposition 2.1: cost at most ``3E``."""
+    return 3 * exploration_budget
+
+
+# ----------------------------------------------------------------------
+# Algorithm Fast, simultaneous-start version (Section 2 prose)
+# ----------------------------------------------------------------------
+
+def fast_simultaneous_time(label_space: int, exploration_budget: int) -> int:
+    """Time at most ``(2 floor(log(L - 1)) + 4) E``."""
+    if label_space < 2:
+        raise ValueError("need L >= 2")
+    return (2 * _floor_log2(label_space - 1) + 4) * exploration_budget
+
+
+def fast_simultaneous_cost(label_space: int, exploration_budget: int) -> int:
+    """Cost is at most twice the time (two agents, one traversal per round)."""
+    return 2 * fast_simultaneous_time(label_space, exploration_budget)
+
+
+# ----------------------------------------------------------------------
+# Algorithm Fast, general version (Proposition 2.2)
+# ----------------------------------------------------------------------
+
+def fast_time(label_space: int, exploration_budget: int) -> int:
+    """Proposition 2.2: time at most ``(4 floor(log(L - 1)) + 9) E``."""
+    if label_space < 2:
+        raise ValueError("need L >= 2")
+    return (4 * _floor_log2(label_space - 1) + 9) * exploration_budget
+
+
+def fast_cost(label_space: int, exploration_budget: int) -> int:
+    """Proposition 2.2: cost at most ``(8 log(L - 1) + 18) E`` = twice the time."""
+    return 2 * fast_time(label_space, exploration_budget)
+
+
+# ----------------------------------------------------------------------
+# Algorithm FastWithRelabeling (Proposition 2.3 and Corollary 2.1)
+# ----------------------------------------------------------------------
+
+def fwr_label_length(label_space: int, weight: int) -> int:
+    """``t``: the least integer with ``C(t, w) >= L``."""
+    return smallest_t(label_space, weight)
+
+
+def fwr_time(label_space: int, weight: int, exploration_budget: int) -> int:
+    """Proposition 2.3: time at most ``(4t + 5) E``."""
+    t = fwr_label_length(label_space, weight)
+    return (4 * t + 5) * exploration_budget
+
+
+def fwr_cost_simultaneous(weight: int, exploration_budget: int) -> int:
+    """Proposition 2.3's cost bound ``2 w E``.
+
+    The ``2wE`` accounting matches the simultaneous-start schedule, where
+    each agent explores exactly once per 1-bit of its weight-``w`` label.
+    """
+    return 2 * weight * exploration_budget
+
+
+def fwr_cost(weight: int, exploration_budget: int) -> int:
+    """Combined-cost bound for the delay-tolerant schedule.
+
+    The delay-tolerant schedule runs ``T = (1, M(s)) with bits doubled``:
+    per agent at most ``1 + 2 (2w + 1) = 4w + 3`` explorations, so the
+    combined bound is ``(8w + 6) E``.  Asymptotically this is the same
+    ``O(wE)`` as the paper's ``2wE`` (see DESIGN.md, "Substitutions").
+    """
+    return (8 * weight + 6) * exploration_budget
+
+
+def corollary_fwr_time(label_space: int, weight: int, exploration_budget: int) -> int:
+    """Corollary 2.1's explicit form ``(4 c L^{1/c} + 5) E`` for ``w = c``.
+
+    Used by tests to confirm ``fwr_time`` is within the corollary's bound.
+    """
+    c = weight
+    t_upper = ceil(c * label_space ** (1.0 / c))
+    return (4 * t_upper + 5) * exploration_budget
+
+
+# ----------------------------------------------------------------------
+# Lower bounds (Section 3) -- reference curves for the certificates
+# ----------------------------------------------------------------------
+
+def thm31_time_lower(label_space: int, exploration_budget: int, slack: int = 0) -> float:
+    """Theorem 3.1's chain length: ``(floor(L/2) - 1) (F - 3 phi) / 2``.
+
+    ``slack`` is the paper's ``phi`` (the algorithm's cost minus ``E``);
+    ``F = ceil(E / 2)``.  For Cheap with simultaneous start ``phi = 0``.
+    """
+    half = ceil(exploration_budget / 2)
+    return (label_space // 2 - 1) * (half - 3 * slack) / 2
+
+
+def fact317_cost_lower(nonzero_entries: int, exploration_budget: int) -> float:
+    """Fact 3.17: ``k`` nonzero progress entries force cost ``>= k E / 6``."""
+    return nonzero_entries * exploration_budget / 6

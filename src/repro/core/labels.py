@@ -1,0 +1,61 @@
+"""The label transformation ``M`` (paper Section 2, taken from [29]).
+
+If ``x = (c1 ... cr)`` is the binary representation of a label, its
+*modified label* is ``M(x) = (c1 c1 c2 c2 ... cr cr 0 1)`` -- every bit
+doubled, then the delimiter ``01`` appended.  Two properties carry the
+correctness of Algorithm Fast:
+
+* for distinct ``x`` and ``y``, ``M(x)`` is never a prefix of ``M(y)``;
+* ``M`` is injective.
+
+Both are verified by property-based tests in ``tests/core/test_labels.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def binary_bits(label: int) -> tuple[int, ...]:
+    """MSB-first binary representation of a positive label, no leading zeros."""
+    if label < 1:
+        raise ValueError(f"labels are positive integers, got {label}")
+    return tuple(int(bit) for bit in bin(label)[2:])
+
+
+def transform_bits(bits: Sequence[int]) -> tuple[int, ...]:
+    """Double every bit and append the delimiter ``01``.
+
+    This is the transformation ``M`` applied to an explicit bit string;
+    :func:`modified_label` composes it with :func:`binary_bits`.
+    ``FastWithRelabeling`` applies it to fixed-length (leading-zero
+    preserving) relabeled strings, so it is exposed separately.
+    """
+    if any(bit not in (0, 1) for bit in bits):
+        raise ValueError(f"bits must be 0/1, got {list(bits)}")
+    if not bits:
+        raise ValueError("cannot transform an empty bit string")
+    doubled: list[int] = []
+    for bit in bits:
+        doubled.append(bit)
+        doubled.append(bit)
+    return tuple(doubled) + (0, 1)
+
+
+def modified_label(label: int) -> tuple[int, ...]:
+    """``M(label)``: the modified label used by Algorithm Fast.
+
+    For a label with an ``r``-bit binary representation the result has
+    length ``2r + 2``.
+    """
+    return transform_bits(binary_bits(label))
+
+
+def modified_label_length(label: int) -> int:
+    """Length of ``M(label)`` without materialising it (``2r + 2``)."""
+    return 2 * label.bit_length() + 2
+
+
+def is_prefix(short: Sequence[int], long: Sequence[int]) -> bool:
+    """True iff ``short`` is a prefix of ``long`` (used by tests)."""
+    return len(short) <= len(long) and tuple(long[: len(short)]) == tuple(short)

@@ -1,0 +1,89 @@
+"""Low-weight relabeling for Algorithm FastWithRelabeling (paper Section 2).
+
+Given the label space size ``L`` and a target weight ``w``, let ``t`` be the
+smallest positive integer with ``C(t, w) >= L``.  Agent ``x`` is assigned
+the lexicographically ``x``-th smallest ``w``-subset of ``{1..t}`` -- where
+subsets are ordered by the lexicographic order of their characteristic
+bit strings -- and its new label is that characteristic string.  Every new
+label then has exactly ``w`` ones, which caps the number of explorations
+Algorithm Fast performs.
+
+The unranking here is the classical combinatorial-number-system walk over
+the characteristic string: placing a ``0`` at the next position keeps
+``C(remaining - 1, w_left)`` lexicographically smaller strings below us.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+
+def smallest_t(label_space: int, weight: int) -> int:
+    """The least ``t`` with ``C(t, weight) >= label_space``.
+
+    This is the new label length used by FastWithRelabeling.
+    """
+    if label_space < 1:
+        raise ValueError(f"label space must be positive, got {label_space}")
+    if weight < 1:
+        raise ValueError(f"weight must be positive, got {weight}")
+    t = weight
+    while comb(t, weight) < label_space:
+        t += 1
+    return t
+
+
+def lex_subset_bits(rank: int, t: int, weight: int) -> tuple[int, ...]:
+    """The ``rank``-th (0-based) ``weight``-subset of ``{1..t}``.
+
+    Returned as its characteristic bit string of length ``t``; subsets are
+    ordered lexicographically by those strings (so strings beginning with 0
+    come first).
+    """
+    total = comb(t, weight)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} outside 0..{total - 1} for C({t},{weight})")
+    bits: list[int] = []
+    ones_left = weight
+    for position in range(t):
+        remaining = t - position - 1
+        if ones_left == 0:
+            bits.append(0)
+            continue
+        zero_block = comb(remaining, ones_left)
+        if rank < zero_block:
+            bits.append(0)
+        else:
+            rank -= zero_block
+            bits.append(1)
+            ones_left -= 1
+    assert ones_left == 0
+    return tuple(bits)
+
+
+def lex_rank(bits: Sequence[int]) -> int:
+    """Inverse of :func:`lex_subset_bits`: the 0-based rank of a bit string."""
+    t = len(bits)
+    ones_left = sum(bits)
+    rank = 0
+    for position, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {list(bits)}")
+        remaining = t - position - 1
+        if bit == 1:
+            rank += comb(remaining, ones_left)
+            ones_left -= 1
+    return rank
+
+
+def relabel_bits(label: int, label_space: int, weight: int) -> tuple[int, ...]:
+    """The new label of agent ``label``: a weight-``w`` string of length ``t``.
+
+    Distinct original labels map to distinct strings because ``C(t, w) >= L``
+    guarantees enough subsets (paper, proof of Proposition 2.3).
+    """
+    if not 1 <= label <= label_space:
+        raise ValueError(f"label {label} outside 1..{label_space}")
+    t = smallest_t(label_space, weight)
+    return lex_subset_bits(label - 1, t, weight)

@@ -1,0 +1,57 @@
+"""Exploration procedures -- the substrate every rendezvous algorithm runs on.
+
+The paper assumes each agent knows an upper bound ``E`` on exploration time
+together with a procedure ``EXPLORE`` that visits all nodes within ``E``
+rounds from any starting node (Section 1.2).  This package provides the
+procedures the paper discusses:
+
+* :class:`~repro.exploration.ring.RingExploration` -- ``E = n - 1`` on
+  oriented rings (clockwise walk);
+* :class:`~repro.exploration.dfs.KnownMapDFS` -- ``E = 2n - 3`` given a
+  port-labeled map with a marked position;
+* :class:`~repro.exploration.try_all_dfs.TryAllDFS` -- map without a marked
+  position: try the DFS of every possible start, aborting and backtracking
+  on port mismatches;
+* :class:`~repro.exploration.euler.EulerianExploration` -- ``E = e - 1``
+  when all degrees are even;
+* :class:`~repro.exploration.hamiltonian.HamiltonianExploration` --
+  ``E = n - 1`` when a Hamiltonian cycle exists;
+* :class:`~repro.exploration.uxs.UXSExploration` -- map-free exploration by
+  a universal exploration sequence (Reingold's construction is replaced by
+  a verified randomized one; see DESIGN.md).
+
+All procedures run for *exactly* ``budget`` rounds (idling after finishing),
+matching the paper's convention that ``EXPLORE`` takes exactly ``E`` rounds.
+"""
+
+from repro.exploration.base import (
+    ExplorationBudgetError,
+    ExplorationProcedure,
+    measure_exploration,
+)
+from repro.exploration.dfs import KnownMapDFS, dfs_walk_ports
+from repro.exploration.euler import EulerianExploration, eulerian_circuit_ports
+from repro.exploration.hamiltonian import HamiltonianExploration, find_hamiltonian_cycle
+from repro.exploration.ring import RingExploration
+from repro.exploration.try_all_dfs import TryAllDFS
+from repro.exploration.uxs import UXSExploration, build_verified_uxs, is_uxs_for
+from repro.exploration.registry import best_exploration, KnowledgeModel
+
+__all__ = [
+    "EulerianExploration",
+    "ExplorationBudgetError",
+    "ExplorationProcedure",
+    "HamiltonianExploration",
+    "KnowledgeModel",
+    "KnownMapDFS",
+    "RingExploration",
+    "TryAllDFS",
+    "UXSExploration",
+    "best_exploration",
+    "build_verified_uxs",
+    "dfs_walk_ports",
+    "eulerian_circuit_ports",
+    "find_hamiltonian_cycle",
+    "is_uxs_for",
+    "measure_exploration",
+]

@@ -1,0 +1,114 @@
+"""Base class and execution harness for exploration procedures.
+
+An exploration procedure is a reusable sub-behaviour (see
+:mod:`repro.sim.program`): given the agent's context and current
+observation it yields actions.  :meth:`ExplorationProcedure.execute` wraps
+the raw movement generator so that the behaviour lasts *exactly*
+``budget`` rounds -- the paper's ``EXPLORE`` always takes exactly ``E``
+rounds, waiting out any remainder -- and fails loudly if the movement
+would exceed the budget (an incorrect budget must never be papered over).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, SubBehaviour, idle
+
+
+class ExplorationBudgetError(RuntimeError):
+    """An exploration emitted more actions than its declared budget ``E``."""
+
+
+class ExplorationProcedure(ABC):
+    """A procedure that visits every node within ``budget`` rounds.
+
+    Subclasses implement :meth:`moves`, the raw movement generator; users
+    call :meth:`execute`, which enforces and pads to the exact budget.
+    """
+
+    #: Human-readable name used in reports.
+    name: str = "exploration"
+
+    @property
+    @abstractmethod
+    def budget(self) -> int:
+        """The bound ``E``: the procedure finishes within this many rounds."""
+
+    @abstractmethod
+    def moves(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        """Yield the exploration's actions; return the final observation."""
+
+    def execute(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        """Run :meth:`moves`, then idle until exactly ``budget`` rounds passed.
+
+        Usage inside an agent program::
+
+            obs = yield from procedure.execute(ctx, obs)
+        """
+        budget = self.budget
+        taken = 0
+        inner = self.moves(ctx, obs)
+        try:
+            action = next(inner)
+            while True:
+                if taken == budget:
+                    raise ExplorationBudgetError(
+                        f"{self.name} tried to act in round {taken + 1} "
+                        f"of a budget of {budget}"
+                    )
+                obs = yield action
+                taken += 1
+                action = inner.send(obs)
+        except StopIteration as stop:
+            if stop.value is not None:
+                obs = stop.value
+        obs = yield from idle(budget - taken, obs)
+        return obs
+
+
+def measure_exploration(
+    procedure: ExplorationProcedure,
+    graph,
+    start_node: int,
+    provide_map: bool = True,
+    provide_position: bool = True,
+) -> tuple[set[int], int]:
+    """Run a procedure solo and report ``(visited_nodes, moves_used)``.
+
+    This harness is how tests certify the exploration contract: starting
+    from every node, all nodes are visited and at most ``budget`` moves are
+    used.  It drives the movement generator directly against the graph,
+    bypassing the round simulator (no second agent is involved).
+    """
+    from repro.sim.program import AgentContext  # local import to avoid cycles
+
+    position = start_node
+    entry_port: int | None = None
+    visited = {position}
+    moves_used = 0
+
+    ctx = AgentContext(
+        label=1,
+        graph=graph if provide_map else None,
+        position_oracle=(lambda: position) if provide_position else None,
+    )
+    obs = Observation(clock=0, degree=graph.degree(position), entry_port=None)
+    gen = procedure.execute(ctx, obs)
+    try:
+        action = next(gen)
+        clock = 0
+        while True:
+            clock += 1
+            if action is not None:
+                position, entry_port = graph.neighbor_via(position, action)
+                visited.add(position)
+                moves_used += 1
+            obs = Observation(
+                clock=clock, degree=graph.degree(position), entry_port=entry_port
+            )
+            action = gen.send(obs)
+    except StopIteration:
+        pass
+    return visited, moves_used

@@ -1,0 +1,83 @@
+"""Depth-first exploration with a port-labeled map and a marked position.
+
+Given the map and its own position, an agent can identify a DFS traversal
+of a spanning tree rooted at wherever it currently stands.  The *open* tour
+drops the final chain of backtracking moves (after the last new node there
+is no reason to walk home), which caps the budget at ``2n - 3`` for every
+graph with ``n >= 2`` nodes -- the bound the paper quotes, optimal e.g. on
+the star.  The *closed* tour keeps the backtracks and returns to the start
+in at most ``2n - 2`` moves; the try-all-DFS procedure builds on it.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.exploration.base import ExplorationProcedure
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, SubBehaviour
+
+
+def dfs_walk_ports(
+    graph: PortLabeledGraph, root: int, closed: bool = True
+) -> list[int]:
+    """The port sequence of a DFS traversal of ``graph`` from ``root``.
+
+    Children are visited in increasing port order.  With ``closed=True``
+    the walk returns to ``root`` (length ``2(n-1)``); otherwise trailing
+    backtracks are stripped (length at most ``2n - 3`` for ``n >= 2``).
+    """
+    visited = {root}
+    walk: list[tuple[int, bool]] = []  # (port, is_backtrack)
+
+    # Iterative DFS: each stack frame is (node, entry_port, next_port).
+    stack: list[tuple[int, int | None, int]] = [(root, None, 0)]
+    while stack:
+        node, entry_port, next_port = stack.pop()
+        descended = False
+        for port in range(next_port, graph.degree(node)):
+            neighbor, arrival = graph.neighbor_via(node, port)
+            if neighbor in visited:
+                continue
+            visited.add(neighbor)
+            walk.append((port, False))
+            stack.append((node, entry_port, port + 1))
+            stack.append((neighbor, arrival, 0))
+            descended = True
+            break
+        if not descended and entry_port is not None:
+            walk.append((entry_port, True))
+
+    if not closed:
+        while walk and walk[-1][1]:
+            walk.pop()
+    return [port for port, _ in walk]
+
+
+class KnownMapDFS(ExplorationProcedure):
+    """DFS exploration from the agent's (known) current map position.
+
+    Budget: ``2n - 3`` open, ``2n - 2`` closed.  The port sequence is
+    recomputed at execution time from the agent's actual position, so the
+    procedure is valid "starting at any node" as the paper requires.
+    """
+
+    def __init__(self, graph: PortLabeledGraph, closed: bool = False):
+        if graph.num_nodes < 2:
+            raise ValueError("exploration needs at least 2 nodes")
+        self.graph = graph
+        self.closed = closed
+        self.name = "dfs-closed" if closed else "dfs-open"
+
+    @property
+    def budget(self) -> int:
+        n = self.graph.num_nodes
+        return 2 * n - 2 if self.closed else max(1, 2 * n - 3)
+
+    def moves(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        graph = ctx.require_map()
+        if graph.num_nodes != self.graph.num_nodes:
+            raise ValueError("agent map does not match the procedure's graph")
+        start = ctx.require_position()
+        for port in dfs_walk_ports(graph, start, closed=self.closed):
+            obs = yield port
+        return obs

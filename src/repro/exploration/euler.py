@@ -1,0 +1,88 @@
+"""Eulerian-circuit exploration: ``E = e - 1`` when all degrees are even.
+
+The paper (Section 1.2): "If the graph has an Eulerian cycle, then E can be
+taken as e - 1, where e is the number of edges."  Traversing the first
+``e - 1`` edges of an Eulerian circuit visits every node: each node has
+even degree ``>= 2``, so at least one of its incident edges is among the
+traversed ones.
+
+The circuit is computed on the agent's map from its marked position with
+Hierholzer's algorithm, expressed directly over ports.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.exploration.base import ExplorationProcedure
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, SubBehaviour
+
+
+def has_eulerian_circuit(graph: PortLabeledGraph) -> bool:
+    """True iff the (connected) graph has all degrees even."""
+    return all(graph.degree(u) % 2 == 0 for u in range(graph.num_nodes))
+
+
+def eulerian_circuit_ports(graph: PortLabeledGraph, start: int) -> list[int]:
+    """Exit-port sequence of an Eulerian circuit from ``start`` (Hierholzer).
+
+    Raises :class:`ValueError` if some degree is odd.
+    """
+    if not has_eulerian_circuit(graph):
+        raise ValueError("graph has odd-degree nodes; no Eulerian circuit exists")
+
+    used = [[False] * graph.degree(u) for u in range(graph.num_nodes)]
+    next_unused = [0] * graph.num_nodes
+
+    # Hierholzer: walk until stuck (necessarily back at the subwalk's own
+    # start), splicing detours in as we unwind the stack.
+    stack: list[tuple[int, int | None]] = [(start, None)]  # (node, port used to leave predecessor)
+    circuit_ports: list[int] = []
+    path: list[tuple[int, int]] = []  # (node, exit_port) of the current walk
+
+    node = start
+    while stack or path:
+        # Advance next_unused[node] past consumed ports.
+        while next_unused[node] < graph.degree(node) and used[node][next_unused[node]]:
+            next_unused[node] += 1
+        if next_unused[node] < graph.degree(node):
+            port = next_unused[node]
+            used[node][port] = True
+            neighbor, arrival = graph.neighbor_via(node, port)
+            used[neighbor][arrival] = True
+            path.append((node, port))
+            node = neighbor
+        else:
+            if not path:
+                break
+            # Stuck: back up one step of the walk; its exit port is final.
+            prev_node, exit_port = path.pop()
+            circuit_ports.append(exit_port)
+            node = prev_node
+    circuit_ports.reverse()
+    if len(circuit_ports) != graph.num_edges:
+        raise ValueError("graph is disconnected; Eulerian circuit covers only part")
+    return circuit_ports
+
+
+class EulerianExploration(ExplorationProcedure):
+    """Follow an Eulerian circuit from the current position for ``e - 1`` moves."""
+
+    name = "eulerian"
+
+    def __init__(self, graph: PortLabeledGraph):
+        if not has_eulerian_circuit(graph):
+            raise ValueError("EulerianExploration requires all degrees even")
+        self.graph = graph
+
+    @property
+    def budget(self) -> int:
+        return self.graph.num_edges - 1
+
+    def moves(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        graph = ctx.require_map()
+        start = ctx.require_position()
+        ports = eulerian_circuit_ports(graph, start)
+        for port in ports[:-1]:  # the final edge is redundant for visiting
+            obs = yield port
+        return obs

@@ -1,0 +1,86 @@
+"""Hamiltonian-cycle exploration: ``E = n - 1`` when such a cycle exists.
+
+The paper (Section 1.2): "if the graph has a Hamiltonian cycle, then E can
+be taken as n - 1."  The cycle is found on the map by backtracking search
+(exponential in general -- Hamiltonicity is NP-hard -- but instant on the
+experiment-scale graphs); at execution time the agent, knowing its
+position, follows the cycle for ``n - 1`` steps.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.exploration.base import ExplorationProcedure
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, SubBehaviour
+
+
+def find_hamiltonian_cycle(graph: PortLabeledGraph) -> list[int] | None:
+    """A Hamiltonian cycle as a node list (length ``n``), or ``None``.
+
+    Plain backtracking with a degree-based pruning rule; deterministic.
+    Intended for the small graphs used in experiments.
+    """
+    n = graph.num_nodes
+    if n < 3:
+        return None
+    if any(graph.degree(u) < 2 for u in range(n)):
+        return None
+
+    neighbors = [sorted(set(graph.neighbors(u))) for u in range(n)]
+    path = [0]
+    on_path = [False] * n
+    on_path[0] = True
+
+    def extend() -> bool:
+        if len(path) == n:
+            return path[0] in neighbors[path[-1]]
+        for candidate in neighbors[path[-1]]:
+            if on_path[candidate]:
+                continue
+            path.append(candidate)
+            on_path[candidate] = True
+            if extend():
+                return True
+            path.pop()
+            on_path[candidate] = False
+        return False
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, n + 100))
+    try:
+        found = extend()
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return list(path) if found else None
+
+
+class HamiltonianExploration(ExplorationProcedure):
+    """Follow a precomputed Hamiltonian cycle for ``n - 1`` steps."""
+
+    name = "hamiltonian"
+
+    def __init__(self, graph: PortLabeledGraph):
+        cycle = find_hamiltonian_cycle(graph)
+        if cycle is None:
+            raise ValueError("graph has no Hamiltonian cycle (or none was found)")
+        self.graph = graph
+        self._cycle = cycle
+        self._index_of = {node: i for i, node in enumerate(cycle)}
+
+    @property
+    def budget(self) -> int:
+        return self.graph.num_nodes - 1
+
+    def moves(self, ctx: AgentContext, obs: Observation) -> SubBehaviour:
+        graph = ctx.require_map()
+        position = ctx.require_position()
+        n = graph.num_nodes
+        index = self._index_of[position]
+        for step in range(1, n):
+            target = self._cycle[(index + step) % n]
+            current = self._cycle[(index + step - 1) % n]
+            obs = yield graph.port_to(current, target)
+        return obs

@@ -1,0 +1,68 @@
+"""Choosing the best exploration procedure for a graph and knowledge model.
+
+Section 1.2 of the paper walks through how ``E`` depends on what the agents
+know: an oriented ring of known size gives ``E = n - 1``; a map with a
+marked position gives ``E = 2n - 3`` by DFS (better if a Hamiltonian cycle
+or an Eulerian circuit exists); a map without a marked position costs a
+factor ``n`` more; with only a size bound, a UXS must be used.  This module
+encodes that decision table.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.validation import is_oriented_ring
+from repro.exploration.base import ExplorationProcedure
+from repro.exploration.dfs import KnownMapDFS
+from repro.exploration.euler import EulerianExploration, has_eulerian_circuit
+from repro.exploration.hamiltonian import HamiltonianExploration, find_hamiltonian_cycle
+from repro.exploration.ring import RingExploration
+from repro.exploration.try_all_dfs import TryAllDFS
+from repro.exploration.uxs import UXSExploration, build_verified_uxs
+
+
+class KnowledgeModel(Enum):
+    """What an agent knows about the network (paper Section 1.2)."""
+
+    #: Port-labeled map with the agent's position marked on it.
+    MAP_WITH_POSITION = "map-with-position"
+    #: Port-labeled map, position unknown.
+    MAP_WITHOUT_POSITION = "map-without-position"
+    #: Only the graph itself is fixed; the agent gets a verified UXS for it.
+    SIZE_BOUND_ONLY = "size-bound-only"
+
+
+def best_exploration(
+    graph: PortLabeledGraph,
+    knowledge: KnowledgeModel = KnowledgeModel.MAP_WITH_POSITION,
+    rng: random.Random | None = None,
+    try_hamiltonian: bool = True,
+) -> ExplorationProcedure:
+    """The cheapest procedure available under ``knowledge`` for ``graph``.
+
+    For :attr:`KnowledgeModel.MAP_WITH_POSITION` the choice follows the
+    paper's hierarchy: oriented-ring walk (``n - 1``), Hamiltonian cycle
+    (``n - 1``), Eulerian circuit (``e - 1``, if better than DFS), else
+    open DFS (``2n - 3``).  ``try_hamiltonian=False`` skips the (worst-case
+    exponential) cycle search on graphs known not to have one.
+    """
+    if knowledge is KnowledgeModel.MAP_WITH_POSITION:
+        if is_oriented_ring(graph):
+            return RingExploration(graph.num_nodes)
+        if try_hamiltonian and find_hamiltonian_cycle(graph) is not None:
+            return HamiltonianExploration(graph)
+        dfs = KnownMapDFS(graph)
+        if has_eulerian_circuit(graph) and graph.num_edges - 1 < dfs.budget:
+            return EulerianExploration(graph)
+        return dfs
+    if knowledge is KnowledgeModel.MAP_WITHOUT_POSITION:
+        if is_oriented_ring(graph):
+            return RingExploration(graph.num_nodes)  # orientation makes maps moot
+        return TryAllDFS(graph)
+    if knowledge is KnowledgeModel.SIZE_BOUND_ONLY:
+        sequence = build_verified_uxs([graph], rng=rng)
+        return UXSExploration(sequence)
+    raise ValueError(f"unknown knowledge model: {knowledge!r}")

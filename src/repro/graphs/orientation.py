@@ -1,0 +1,33 @@
+"""Conventions for oriented rings.
+
+A ring is *oriented* (paper Section 3) when every edge has port label 0 at
+one endpoint and 1 at the other, consistently around the ring: at every
+node, taking port 0 moves clockwise and taking port 1 moves
+counterclockwise.  The lower-bound machinery works exclusively on oriented
+rings, so these two constants are used pervasively.
+"""
+
+from typing import Final
+
+#: Port that moves an agent clockwise on an oriented ring.
+CLOCKWISE: Final[int] = 0
+
+#: Port that moves an agent counterclockwise on an oriented ring.
+COUNTERCLOCKWISE: Final[int] = 1
+
+
+def step_displacement(port: int | None) -> int:
+    """Displacement on an oriented ring for one action.
+
+    ``port`` is an action as produced by an agent program: ``None`` (wait),
+    :data:`CLOCKWISE` or :data:`COUNTERCLOCKWISE`.  The result is the entry
+    of the paper's behaviour vector for that round: ``+1`` clockwise, ``-1``
+    counterclockwise, ``0`` idle.
+    """
+    if port is None:
+        return 0
+    if port == CLOCKWISE:
+        return 1
+    if port == COUNTERCLOCKWISE:
+        return -1
+    raise ValueError(f"port {port} is not a valid oriented-ring port")

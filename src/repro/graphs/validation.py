@@ -1,0 +1,71 @@
+"""Structural validation helpers for port-labeled graphs.
+
+:class:`~repro.graphs.port_graph.PortLabeledGraph` already validates the
+port-symmetry invariant on construction; this module adds the checks that
+experiments rely on (connectivity, orientation of rings) with informative
+error messages, plus a single entry point :func:`check_port_graph`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE
+from repro.graphs.port_graph import PortLabeledGraph
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph violates a structural requirement."""
+
+
+def check_port_graph(graph: PortLabeledGraph, *, require_connected: bool = True) -> None:
+    """Validate the invariants every experiment assumes.
+
+    * ports at each node are exactly ``0..d-1`` (guaranteed by construction,
+      re-checked here for defence in depth);
+    * port symmetry ``adj[v][q] == (u, p)`` (same);
+    * connectivity, unless ``require_connected`` is False.
+    """
+    for u in range(graph.num_nodes):
+        degree = graph.degree(u)
+        for p in range(degree):
+            v, q = graph.neighbor_via(u, p)
+            back, back_port = graph.neighbor_via(v, q)
+            if (back, back_port) != (u, p):
+                raise GraphValidationError(
+                    f"asymmetric port assignment at edge {u}:{p} <-> {v}:{q}"
+                )
+    if require_connected and not graph.is_connected():
+        raise GraphValidationError("graph is not connected")
+
+
+def is_oriented_ring(graph: PortLabeledGraph) -> bool:
+    """True iff ``graph`` is an oriented ring with our node numbering.
+
+    Oriented means: every node has degree 2, port :data:`CLOCKWISE` leads to
+    the clockwise neighbor and arrives there on port
+    :data:`COUNTERCLOCKWISE`, consistently around the ring, and the
+    clockwise order agrees with increasing node ids.
+    """
+    n = graph.num_nodes
+    if n < 3:
+        return False
+    for u in range(n):
+        if graph.degree(u) != 2:
+            return False
+        succ, entry = graph.neighbor_via(u, CLOCKWISE)
+        if succ != (u + 1) % n or entry != COUNTERCLOCKWISE:
+            return False
+    return True
+
+
+def require_oriented_ring(graph: PortLabeledGraph) -> int:
+    """Assert ``graph`` is an oriented ring and return its size.
+
+    The lower-bound machinery calls this before interpreting behaviour
+    vectors; it protects against accidentally analysing a non-ring.
+    """
+    if not is_oriented_ring(graph):
+        raise GraphValidationError(
+            "the lower-bound machinery requires an oriented ring "
+            "(build one with repro.graphs.oriented_ring)"
+        )
+    return graph.num_nodes

@@ -1,0 +1,92 @@
+"""Behaviour vectors: an algorithm's movement trace on an oriented ring.
+
+On an oriented ring an agent can never learn where it is, so its solo
+execution is a fixed sequence over ``{-1, 0, +1}`` (clockwise, idle,
+counterclockwise) depending only on its label -- the paper's behaviour
+vector ``V_x``.  Two independent extraction paths are provided and
+cross-checked by tests:
+
+* :func:`behaviour_from_schedule` -- analytic, for schedule-based
+  algorithms whose EXPLORE is the clockwise ring walk;
+* :func:`behaviour_from_solo_run` -- empirical, by running any program
+  factory solo in the full simulator and reading the trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule, SegmentKind
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.validation import require_oriented_ring
+from repro.sim.program import ProgramFactory
+from repro.sim.simulator import AgentSpec, Simulator
+
+
+def behaviour_from_schedule(schedule: Schedule, exploration_budget: int) -> list[int]:
+    """The behaviour vector of a schedule whose EXPLORE walks clockwise.
+
+    Valid exactly when the exploration procedure is the oriented-ring walk
+    (``E`` clockwise moves, no padding) -- the setting of Section 3.
+    """
+    vector: list[int] = []
+    for segment in schedule:
+        if segment.kind is SegmentKind.EXPLORE:
+            vector.extend([1] * exploration_budget)
+        else:
+            assert segment.rounds is not None
+            vector.extend([0] * segment.rounds)
+    return vector
+
+
+def behaviour_from_solo_run(
+    ring: PortLabeledGraph,
+    factory: ProgramFactory,
+    label: int,
+    rounds: int,
+    start_node: int = 0,
+) -> list[int]:
+    """Run ``factory`` alone on an oriented ring and record its behaviour.
+
+    The solo execution ``alpha(x, p_x, bot, bot)`` of the paper: the agent
+    runs for ``rounds`` rounds with no partner (it cannot meet anyone).
+    """
+    require_oriented_ring(ring)
+    spec = AgentSpec(label=label, start_node=start_node, factory=factory)
+    result = Simulator(ring).run([spec], max_rounds=rounds)
+    vector = result.traces[0].behaviour_vector()
+    # An exhausted program stops producing actions; pad with idle rounds so
+    # callers always receive exactly `rounds` entries.
+    vector.extend([0] * (rounds - len(vector)))
+    return vector
+
+
+def forward_and_back(vector: list[int]) -> tuple[int, int]:
+    """``(forward, back)`` of a solo execution.
+
+    ``forward`` is the number of edges of the ring segment explored on the
+    agent's clockwise side (the maximum clockwise displacement reached) and
+    ``back`` the counterclockwise analogue; both are position-independent.
+    """
+    forward = 0
+    back = 0
+    disp = 0
+    for step in vector:
+        disp += step
+        forward = max(forward, disp)
+        back = max(back, -disp)
+    return forward, back
+
+
+def is_clockwise_heavy(vector: list[int]) -> bool:
+    """Paper's dichotomy: ``back(x) <= forward(x)``."""
+    forward, back = forward_and_back(vector)
+    return back <= forward
+
+
+def mirror(vector: list[int]) -> list[int]:
+    """Reflect a behaviour vector (swap clockwise and counterclockwise).
+
+    Used to realise the paper's "without loss of generality at least half
+    the agents are clockwise-heavy": when the majority is
+    counterclockwise-heavy, analysing the mirrored vectors is equivalent.
+    """
+    return [-step for step in vector]

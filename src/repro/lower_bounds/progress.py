@@ -1,0 +1,144 @@
+"""Progress vectors: the paper's Algorithm 3, ``DefineProgress``.
+
+A progress vector keeps only the entries of an aggregate behaviour vector
+that witness *real* progress around the ring -- each time the prefix
+surplus reaches absolute value 2, the two "significant" entries that
+produced the crossing are preserved and everything else in that stretch is
+zeroed.  The paper proves (Facts 3.12-3.14) structural invariants of the
+construction, (Fact 3.15) that correct algorithms need pairwise-distinct
+progress vectors, and (Fact 3.17) that ``k`` preserved pairs force at
+least ``k * E / 6`` edge traversals.  The invariants are implemented here
+as checkers used by both the tests and the Theorem 3.2 certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lower_bounds.aggregate import surplus
+
+
+def define_progress(aggregate: Sequence[int]) -> list[int]:
+    """Algorithm 3 of the paper, verbatim (0-based indices internally).
+
+    Scans the aggregate vector left to right; whenever some prefix of the
+    unprocessed suffix reaches surplus of absolute value 2, preserves the
+    pair of significant entries ``(a, b)`` and restarts after ``b``.
+    """
+    length = len(aggregate)
+    progress = [0] * length
+    start = 0
+    while True:
+        if start >= length:
+            return progress
+        # Is there a prefix of aggregate[start..] with |surplus| == 2?
+        b_index: int | None = None
+        running = 0
+        for i in range(start, length):
+            running += aggregate[i]
+            if abs(running) == 2:
+                b_index = i
+                break
+        if b_index is None:
+            # Case 1: the remaining suffix never accumulates surplus 2.
+            return progress
+        # Case 2: find a = the smallest index in {start..b} such that the
+        # prefix surplus stays at absolute value >= 1 from a through b.
+        a_index = b_index
+        running = 0
+        prefix: list[int] = []
+        for i in range(start, b_index + 1):
+            running += aggregate[i]
+            prefix.append(running)
+        for candidate in range(start, b_index + 1):
+            if all(abs(prefix[i - start]) >= 1 for i in range(candidate, b_index + 1)):
+                a_index = candidate
+                break
+        progress[a_index] = aggregate[b_index]
+        progress[b_index] = aggregate[b_index]
+        start = b_index + 1
+
+
+def progress_pairs(progress: Sequence[int]) -> list[tuple[int, int]]:
+    """The preserved ``(a_i, b_i)`` pairs, recovered from a progress vector.
+
+    Non-zero entries come in consecutive equal-signed pairs
+    ``a_1 < b_1 < a_2 < b_2 < ...`` (Facts 3.12/3.13); this groups them.
+    """
+    nonzero = [i for i, value in enumerate(progress) if value != 0]
+    if len(nonzero) % 2 != 0:
+        raise ValueError("a progress vector has an even number of non-zeros")
+    pairs = []
+    for k in range(0, len(nonzero), 2):
+        a, b = nonzero[k], nonzero[k + 1]
+        if progress[a] != progress[b]:
+            raise ValueError("paired progress entries must be equal (Fact 3.13)")
+        pairs.append((a, b))
+    return pairs
+
+
+def verify_progress_invariants(
+    aggregate: Sequence[int], progress: Sequence[int]
+) -> list[str]:
+    """Check Facts 3.12, 3.13 and 3.14 for a computed progress vector.
+
+    Returns a list of violation descriptions; empty means all invariants
+    hold.  Used as the assertion core of property-based tests.
+    """
+    violations: list[str] = []
+    length = len(progress)
+    if len(aggregate) != length:
+        return [f"length mismatch: {len(aggregate)} vs {length}"]
+
+    try:
+        pairs = progress_pairs(progress)
+    except ValueError as error:
+        return [str(error)]
+
+    # Fact 3.12: s_j <= a_j < b_j < s_{j+1}, i.e. the pairs are strictly
+    # ordered and disjoint -- guaranteed by progress_pairs's grouping if
+    # the non-zeros alternate correctly; check the strict interleaving.
+    flat = [index for pair in pairs for index in pair]
+    if any(flat[i] >= flat[i + 1] for i in range(len(flat) - 1)):
+        violations.append("Fact 3.12 violated: pair indices not strictly increasing")
+
+    # Fact 3.13: Agg[a] == Agg[b] == Prog[a] == Prog[b] != 0.
+    for a, b in pairs:
+        values = {aggregate[a], aggregate[b], progress[a], progress[b]}
+        if len(values) != 1 or progress[a] == 0:
+            violations.append(
+                f"Fact 3.13 violated at pair ({a}, {b}): "
+                f"agg=({aggregate[a]},{aggregate[b]}) prog=({progress[a]},{progress[b]})"
+            )
+
+    # Fact 3.14: maximal zero-runs have all prefix surpluses in [-1, 1],
+    # and zero total surplus unless they touch the end of the vector.
+    index = 0
+    while index < length:
+        if progress[index] != 0:
+            index += 1
+            continue
+        run_start = index
+        while index < length and progress[index] == 0:
+            index += 1
+        run_end = index - 1  # inclusive
+        running = 0
+        for i in range(run_start, run_end + 1):
+            running += aggregate[i]
+            if abs(running) > 1:
+                violations.append(
+                    f"Fact 3.14(1) violated on zero-run [{run_start}, {run_end}] "
+                    f"at index {i}: prefix surplus {running}"
+                )
+                break
+        if run_end != length - 1 and surplus(aggregate[run_start : run_end + 1]) != 0:
+            violations.append(
+                f"Fact 3.14(2) violated on zero-run [{run_start}, {run_end}]: "
+                f"total surplus {surplus(aggregate[run_start:run_end + 1])}"
+            )
+    return violations
+
+
+def progress_weight(progress: Sequence[int]) -> int:
+    """Number of preserved pairs ``k`` (non-zero entries divided by two)."""
+    return sum(1 for value in progress if value != 0) // 2

@@ -1,0 +1,135 @@
+"""Eager agents and the tournament of Theorem 3.1.
+
+For two agents started at gap ``F = ceil(E/2)``, the agent whose clockwise
+displacement at the meeting exceeds the other's by at least ``F`` is
+*eager*: it did (essentially) all the work of closing the gap.  Fact 3.5
+shows exactly one agent of each pair is eager, which makes "is eager
+against" a tournament over the clockwise-heavy labels.  Every tournament
+has a directed Hamiltonian path (Redei's theorem [43]); walking along one,
+the paper shows each consecutive execution must last ``(F - 3 phi)/2``
+rounds longer than the previous -- ``Omega(EL)`` in total.
+
+The Hamiltonian path is built by the classical insertion argument, which
+is itself the standard constructive proof of Redei's theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Mapping, Sequence
+
+from repro.lower_bounds.ring_exec import displacement, meeting_round
+
+
+def gap_f(ring_size: int) -> int:
+    """The paper's ``F = ceil(E / 2)`` with ``E = n - 1``."""
+    return ceil((ring_size - 1) / 2)
+
+
+@dataclass(frozen=True)
+class EagerReport:
+    """Outcome of one execution ``alpha(a, 0, b, F)`` (``a < b``)."""
+
+    pair: tuple[int, int]
+    meeting_time: int
+    disp_a: int
+    disp_b: int
+    eager: int | None  # the eager label, or None if Fact 3.5 fails
+
+    @property
+    def well_defined(self) -> bool:
+        return self.eager is not None
+
+
+def eager_agent(
+    label_a: int,
+    vector_a: Sequence[int],
+    label_b: int,
+    vector_b: Sequence[int],
+    ring_size: int,
+) -> EagerReport:
+    """Run ``alpha(a, 0, b, F)`` on the vectors and classify eagerness.
+
+    Exactly one agent should satisfy ``disp >= other + F`` (Fact 3.5); if
+    neither or both do, ``eager`` is ``None`` and the certificate fails.
+    """
+    f = gap_f(ring_size)
+    time = meeting_round(vector_a, 0, vector_b, f, ring_size)
+    if time is None:
+        raise ValueError(
+            f"labels {label_a} and {label_b} never meet from gap {f}; "
+            "trim the vectors of a correct algorithm first"
+        )
+    disp_a = displacement(vector_a, time)
+    disp_b = displacement(vector_b, time)
+    a_eager = disp_a >= disp_b + f
+    b_eager = disp_b >= disp_a + f
+    eager: int | None
+    if a_eager and not b_eager:
+        eager = label_a
+    elif b_eager and not a_eager:
+        eager = label_b
+    else:
+        eager = None
+    return EagerReport(
+        pair=(label_a, label_b),
+        meeting_time=time,
+        disp_a=disp_a,
+        disp_b=disp_b,
+        eager=eager,
+    )
+
+
+def tournament_edges(
+    vectors: Mapping[int, Sequence[int]], ring_size: int
+) -> dict[tuple[int, int], EagerReport]:
+    """All pairwise eager reports, keyed by ``(smaller, larger)`` label."""
+    labels = sorted(vectors)
+    reports: dict[tuple[int, int], EagerReport] = {}
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            reports[(a, b)] = eager_agent(a, vectors[a], b, vectors[b], ring_size)
+    return reports
+
+
+def hamiltonian_path(
+    labels: Sequence[int], beats: Callable[[int, int], bool]
+) -> list[int]:
+    """A directed Hamiltonian path of a tournament (Redei, by insertion).
+
+    ``beats(u, v)`` must be a total asymmetric relation on ``labels``.
+    Each new vertex is inserted before the first path vertex it beats (or
+    appended); the classical induction shows the result is always a valid
+    directed path.
+    """
+    path: list[int] = []
+    for vertex in labels:
+        for index, existing in enumerate(path):
+            if beats(vertex, existing):
+                path.insert(index, vertex)
+                break
+        else:
+            path.append(vertex)
+    # Defensive validation: every consecutive pair must respect `beats`.
+    for u, v in zip(path, path[1:]):
+        if not beats(u, v):
+            raise AssertionError("insertion produced an invalid tournament path")
+    return path
+
+
+def chain_executions(
+    path: Sequence[int],
+    vectors: Mapping[int, Sequence[int]],
+    ring_size: int,
+) -> list[EagerReport]:
+    """The executions ``alpha_i`` along a Hamiltonian path.
+
+    ``alpha_i`` places the smaller of ``path[i], path[i+1]`` at node 0 and
+    the larger at node ``F``, exactly as the paper defines them.
+    """
+    reports = []
+    for first, second in zip(path, path[1:]):
+        a, b = min(first, second), max(first, second)
+        reports.append(eager_agent(a, vectors[a], b, vectors[b], ring_size))
+    return reports

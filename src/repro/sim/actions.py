@@ -1,0 +1,31 @@
+"""Actions an agent can take in one synchronous round.
+
+An action is either :data:`WAIT` (remain at the current node) or a port
+number -- a non-negative ``int`` smaller than the degree of the current
+node.  Using ``None`` for the wait action keeps agent programs terse
+(``yield WAIT`` reads naturally) while remaining unambiguous, since valid
+ports are exactly the non-negative integers.
+"""
+
+from typing import Final, Optional, TypeAlias
+
+#: Type of one agent action: ``None`` to wait, or a port number to move.
+Action: TypeAlias = Optional[int]
+
+#: The "remain at the current node" action.
+WAIT: Final[Action] = None
+
+
+def is_move(action: Action) -> bool:
+    """True iff ``action`` traverses an edge (i.e., is a port number)."""
+    return action is not None
+
+
+def validate_action(action: Action, degree: int) -> None:
+    """Raise :class:`ValueError` unless ``action`` is legal at a node of ``degree``."""
+    if action is None:
+        return
+    if not isinstance(action, int) or isinstance(action, bool):
+        raise ValueError(f"action must be WAIT or an int port, got {action!r}")
+    if not 0 <= action < degree:
+        raise ValueError(f"port {action} invalid at a node of degree {degree}")

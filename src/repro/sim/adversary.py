@@ -1,0 +1,166 @@
+"""Worst-case search over adversarial choices.
+
+The paper's complexity statements quantify over *all* label pairs, *all*
+pairs of distinct starting nodes and *all* wake-up delays.  This module
+realises that adversary: it enumerates (or samples) the configuration space
+and reports the configurations maximising time and cost, so measured
+numbers can be compared against the claimed bounds and each extreme can be
+replayed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.metrics import RendezvousResult
+from repro.sim.program import ProgramFactory
+from repro.sim.simulator import PresenceModel, simulate_rendezvous
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One adversarial choice: labels, starting nodes and the delay."""
+
+    labels: tuple[int, int]
+    starts: tuple[int, int]
+    delay: int
+
+
+@dataclass(frozen=True)
+class ExtremeRecord:
+    """A configuration together with the result it produced."""
+
+    config: Configuration
+    result: RendezvousResult
+
+    @property
+    def time(self) -> int:
+        assert self.result.time is not None
+        return self.result.time
+
+    @property
+    def cost(self) -> int:
+        return self.result.cost
+
+
+@dataclass(frozen=True)
+class WorstCaseReport:
+    """Outcome of a worst-case search.
+
+    ``failures`` lists configurations in which the agents did not meet
+    within the horizon -- for a correct algorithm with a sufficient horizon
+    it must be empty, and tests assert exactly that.
+    """
+
+    worst_time: ExtremeRecord | None
+    worst_cost: ExtremeRecord | None
+    executions: int
+    failures: tuple[Configuration, ...]
+
+    @property
+    def max_time(self) -> int:
+        if self.worst_time is None:
+            raise ValueError("no successful execution recorded")
+        return self.worst_time.time
+
+    @property
+    def max_cost(self) -> int:
+        if self.worst_cost is None:
+            raise ValueError("no successful execution recorded")
+        return self.worst_cost.cost
+
+
+def all_label_pairs(label_space: int) -> Iterator[tuple[int, int]]:
+    """All ordered pairs of distinct labels from ``{1..L}``.
+
+    Ordered pairs matter because the delay is applied to the second agent.
+    """
+    return itertools.permutations(range(1, label_space + 1), 2)
+
+
+def configurations(
+    graph: PortLabeledGraph,
+    label_pairs: Iterable[tuple[int, int]],
+    delays: Iterable[int] = (0,),
+    start_pairs: Iterable[tuple[int, int]] | None = None,
+    fix_first_start: bool = False,
+) -> Iterator[Configuration]:
+    """Enumerate the adversarial configuration space.
+
+    ``fix_first_start`` pins the first agent to node 0, which is sound
+    (loses no worst case) exactly on vertex-transitive graphs such as
+    oriented rings, hypercubes and tori; the caller asserts that property.
+    """
+    if start_pairs is None:
+        nodes = range(graph.num_nodes)
+        first_nodes = [0] if fix_first_start else list(nodes)
+        start_pairs = [
+            (u, v) for u in first_nodes for v in nodes if u != v
+        ]
+    else:
+        start_pairs = list(start_pairs)
+    label_pairs = list(label_pairs)
+    delays = list(delays)
+    for labels in label_pairs:
+        for starts in start_pairs:
+            for delay in delays:
+                yield Configuration(labels=labels, starts=starts, delay=delay)
+
+
+def worst_case_search(
+    graph: PortLabeledGraph,
+    factory: ProgramFactory,
+    configs: Iterable[Configuration],
+    max_rounds: int | Callable[[Configuration], int],
+    presence: PresenceModel = PresenceModel.FROM_START,
+    sample: int | None = None,
+    rng: random.Random | None = None,
+) -> WorstCaseReport:
+    """Run every configuration and keep the extremes.
+
+    ``max_rounds`` may be a constant horizon or a function of the
+    configuration (e.g., the algorithm's own schedule bound plus the delay).
+    With ``sample`` set, at most that many configurations are examined,
+    drawn uniformly with ``rng`` (exhaustiveness traded for scale).
+    """
+    config_list = list(configs)
+    if sample is not None and sample < len(config_list):
+        rng = rng or random.Random(0xC0FFEE)
+        config_list = rng.sample(config_list, sample)
+
+    worst_time: ExtremeRecord | None = None
+    worst_cost: ExtremeRecord | None = None
+    failures: list[Configuration] = []
+    executions = 0
+
+    for config in config_list:
+        horizon = max_rounds(config) if callable(max_rounds) else max_rounds
+        result = simulate_rendezvous(
+            graph,
+            factory,
+            labels=config.labels,
+            starts=config.starts,
+            delay=config.delay,
+            max_rounds=horizon,
+            presence=presence,
+        )
+        executions += 1
+        if not result.met:
+            failures.append(config)
+            continue
+        record = ExtremeRecord(config=config, result=result)
+        if worst_time is None or record.time > worst_time.time:
+            worst_time = record
+        if worst_cost is None or record.cost > worst_cost.cost:
+            worst_cost = record
+
+    return WorstCaseReport(
+        worst_time=worst_time,
+        worst_cost=worst_cost,
+        executions=executions,
+        failures=tuple(failures),
+    )

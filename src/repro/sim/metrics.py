@@ -1,0 +1,58 @@
+"""Result records produced by the simulator.
+
+The two efficiency measures follow the paper's definitions exactly:
+
+* ``time`` -- number of rounds from the start of the earlier agent until
+  the meeting (global round of the meeting, with the earlier agent waking
+  in round 1; a meeting among still-sleeping agents at time point 0 has
+  time 0);
+* ``cost`` -- total number of edge traversals by both agents before (and
+  including the moves of) the meeting round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import AgentTrace
+
+
+@dataclass(frozen=True)
+class RendezvousResult:
+    """Outcome of one simulated execution.
+
+    ``met`` distinguishes success from exhausting ``max_rounds``; time and
+    node are ``None`` when no meeting happened.  ``crossings`` counts rounds
+    in which the two agents traversed the same edge in opposite directions
+    (the paper stipulates such agents do *not* meet; the count makes that
+    observable in tests).
+    """
+
+    met: bool
+    time: int | None
+    meeting_node: int | None
+    cost: int
+    costs: tuple[int, ...]
+    crossings: int
+    rounds_executed: int
+    traces: tuple[AgentTrace, ...]
+
+    def __post_init__(self) -> None:
+        if self.met and self.time is None:
+            raise ValueError("a successful rendezvous must carry its meeting time")
+        if sum(self.costs) != self.cost:
+            raise ValueError("per-agent costs must sum to the total cost")
+
+    @property
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        if self.met:
+            return (
+                f"met at node {self.meeting_node} in round {self.time} "
+                f"(cost {self.cost} = {' + '.join(map(str, self.costs))}, "
+                f"{self.crossings} crossings)"
+            )
+        return (
+            f"no meeting within {self.rounds_executed} rounds "
+            f"(cost so far {self.cost})"
+        )

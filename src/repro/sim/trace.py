@@ -1,0 +1,55 @@
+"""Execution traces recorded by the simulator.
+
+Traces serve two purposes: debugging/visualisation, and feeding the
+lower-bound machinery, which extracts behaviour vectors (sequences over
+``{-1, 0, +1}`` on oriented rings) from recorded actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.orientation import step_displacement
+from repro.sim.actions import Action, is_move
+
+
+@dataclass
+class AgentTrace:
+    """Everything one agent did during a run.
+
+    Attributes:
+        label: the agent's label.
+        start_node: starting node (simulator-side id; not visible to agents).
+        wake_round: global round in which the agent woke up (1-based).
+        actions: the action taken in each of the agent's local rounds
+            (``actions[i]`` is the action of local round ``i + 1``, i.e. of
+            global round ``wake_round + i``).
+        positions: ``positions[t]`` is the node occupied at global time
+            point ``t`` (``positions[0]`` is the starting node; before the
+            wake-up the entries repeat it).
+        moves: number of edge traversals performed (== its share of cost).
+    """
+
+    label: int
+    start_node: int
+    wake_round: int
+    actions: list[Action] = field(default_factory=list)
+    positions: list[int] = field(default_factory=list)
+    moves: int = 0
+
+    def record(self, action: Action, new_position: int) -> None:
+        """Append one round's action and resulting position."""
+        self.actions.append(action)
+        self.positions.append(new_position)
+        if is_move(action):
+            self.moves += 1
+
+    def behaviour_vector(self) -> list[int]:
+        """The paper's behaviour vector on an oriented ring.
+
+        Entry ``i`` is ``+1`` if local round ``i + 1`` moved clockwise,
+        ``-1`` counterclockwise, ``0`` idle.  Raises if any action is not a
+        valid oriented-ring port, so calling this on non-ring traces fails
+        loudly rather than silently misinterpreting ports.
+        """
+        return [step_displacement(action) for action in self.actions]

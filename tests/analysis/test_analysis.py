@@ -1,0 +1,103 @@
+"""Tests for tables, sweeps, tradeoff assembly and ASCII plots."""
+
+import pytest
+
+from repro.analysis.ascii_plot import scatter_plot
+from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.tables import Table, format_ratio
+from repro.analysis.tradeoff import tradeoff_points
+from repro.core.cheap import Cheap, CheapSimultaneous
+from repro.core.fast import FastSimultaneous
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("short", 1)
+        table.add_row("a-much-longer-name", 123.456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "a-much-longer-name" in text
+        assert "123.46" in text  # floats rendered with 2 decimals
+
+    def test_row_arity_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row(1)
+
+    def test_format_ratio(self):
+        assert format_ratio(50, 100) == "50%"
+        assert format_ratio(1, 0) == "n/a"
+
+
+class TestSweep:
+    def test_sweep_row_contents(self, ring12, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=4)
+        row = worst_case_sweep(
+            algorithm, ring12, "ring-12", delays=(0, 5), fix_first_start=True
+        )
+        assert row.algorithm == "cheap"
+        assert row.exploration_budget == 11
+        assert row.time_within_bound
+        assert row.cost_within_bound
+        assert row.executions == 4 * 3 * 11 * 2  # pairs * starts * delays
+
+    def test_simultaneous_algorithms_reject_delays(self, ring12, ring12_exploration):
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=4)
+        with pytest.raises(ValueError, match="simultaneous"):
+            worst_case_sweep(algorithm, ring12, "ring-12", delays=(0, 3))
+
+    def test_sampling(self, ring12, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=4)
+        row = worst_case_sweep(
+            algorithm, ring12, "ring-12", fix_first_start=True, sample=20
+        )
+        assert row.executions == 20
+
+
+class TestTradeoff:
+    def test_points_reflect_the_separation(self, ring12, ring12_exploration):
+        # L = 16 is past the crossover: Cheap's (L-1)E worst time exceeds
+        # Fast's (2 floor(log(L-1)) + 4)E.
+        label_space = 16
+        points = tradeoff_points(
+            [
+                CheapSimultaneous(ring12_exploration, label_space),
+                FastSimultaneous(ring12_exploration, label_space),
+            ],
+            ring12,
+            "ring-12",
+            label_pairs=[(15, 16), (14, 15), (1, 2), (1, 16)],
+        )
+        by_name = {point.algorithm: point for point in points}
+        cheap = by_name["cheap-simultaneous"]
+        fast = by_name["fast-simultaneous"]
+        assert cheap.max_cost < fast.max_cost  # Cheap is cheaper
+        assert fast.max_time < cheap.max_time  # Fast is faster
+        assert cheap.cost_per_e == pytest.approx(1.0)
+
+
+class TestScatterPlot:
+    def test_renders_markers(self):
+        text = scatter_plot(
+            [(0, 0, "a"), (1, 1, "b"), (0.5, 0.2, "c")],
+            width=20,
+            height=5,
+            x_label="cost",
+            y_label="time",
+        )
+        assert "a" in text and "b" in text and "c" in text
+        assert "cost" in text and "time" in text
+
+    def test_single_point(self):
+        assert "x" in scatter_plot([(3, 3, "x")], width=10, height=3)
+
+    def test_empty(self):
+        assert scatter_plot([]) == "(no points)"
+
+    def test_multichar_marker_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([(0, 0, "ab")])

@@ -1,0 +1,67 @@
+"""Tests for the agent-memory accounting of Section 1.2."""
+
+import pytest
+
+from repro.analysis.memory import (
+    bits_for,
+    counter_bits,
+    dfs_walk_bits,
+    map_bits,
+    profile,
+    ring_size_bits,
+    uxs_bits,
+)
+from repro.graphs.families import complete_graph, oriented_ring, star_graph
+
+
+class TestBitsFor:
+    def test_values(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for(-1)
+
+
+class TestScenarioFormulas:
+    def test_counter_bits_is_log_e_plus_log_l(self):
+        assert counter_bits(schedule_length=1023, label_space=255) == 10 + 8
+
+    def test_ring_needs_only_log_n(self):
+        assert ring_size_bits(1024) == 10
+
+    def test_dfs_walk_is_n_log_n_shaped(self):
+        small = dfs_walk_bits(star_graph(8))
+        large = dfs_walk_bits(star_graph(64))
+        # n grew 8x and the per-port width doubled (3 -> 6 bits): the
+        # n log n shape gives a ratio of ~18, far below quadratic (64x).
+        assert 8 <= large / small <= 20
+
+    def test_map_dominates_walk(self):
+        graph = complete_graph(8)
+        assert map_bits(graph) > dfs_walk_bits(graph)
+
+    def test_map_bits_quadratic_on_complete_graphs(self):
+        small = map_bits(complete_graph(4))
+        large = map_bits(complete_graph(16))
+        assert large / small > 10  # ~n^2 log n growth
+
+    def test_uxs_storage(self):
+        assert uxs_bits(sequence_length=100, max_degree=4) == 200
+
+    def test_profile_totals(self):
+        p = profile("ring", ring_size_bits(12), schedule_length=77, label_space=8)
+        assert p.total_bits == p.exploration_bits + p.counter_bits
+        assert p.scenario == "ring"
+
+
+class TestOrderingAcrossScenarios:
+    def test_paper_hierarchy(self):
+        """Ring size < DFS walk < full map, as the paper's discussion has it."""
+        ring = oriented_ring(16)
+        graph = complete_graph(16)
+        assert ring_size_bits(16) < dfs_walk_bits(graph) < map_bits(graph)

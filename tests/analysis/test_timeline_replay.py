@@ -1,0 +1,67 @@
+"""Tests for the timeline renderer and configuration replay."""
+
+import pytest
+
+from repro.analysis.replay import replay, replay_with_timeline
+from repro.analysis.timeline import render_timeline
+from repro.core.fast import FastSimultaneous
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, star_graph
+from repro.sim.adversary import Configuration
+from repro.sim.simulator import simulate_rendezvous
+
+
+@pytest.fixture
+def sample_result(ring12, ring12_exploration):
+    algorithm = FastSimultaneous(ring12_exploration, 8)
+    return simulate_rendezvous(ring12, algorithm, labels=(3, 5), starts=(0, 6))
+
+
+class TestTimeline:
+    def test_renders_grid_with_markers(self, sample_result):
+        text = render_timeline(sample_result, 12)
+        assert "A" in text and "B" in text
+        assert "meeting at node" in text
+        header = text.splitlines()[0]
+        assert header.endswith("012345678901")  # node digits for n = 12
+
+    def test_meeting_marked_with_star(self, sample_result):
+        text = render_timeline(sample_result, 12)
+        assert "*" in text
+
+    def test_row_sampling_caps_output(self, sample_result):
+        text = render_timeline(sample_result, 12, max_rows=5)
+        data_rows = [line for line in text.splitlines() if "|" in line][1:]
+        assert len(data_rows) <= 7  # sampled rows plus the final one
+
+    def test_too_many_traces_rejected(self, sample_result):
+        with pytest.raises(ValueError, match="markers"):
+            render_timeline(sample_result, 12, markers="A")
+
+
+class TestReplay:
+    def test_replay_reproduces_the_execution(self, ring12, ring12_exploration):
+        algorithm = FastSimultaneous(ring12_exploration, 8)
+        config = Configuration(labels=(3, 5), starts=(0, 6), delay=0)
+        first = replay(ring12, algorithm, config)
+        second = replay(ring12, algorithm, config)
+        assert first.met and second.met
+        assert first.time == second.time
+        assert first.cost == second.cost
+
+    def test_replay_with_timeline(self, ring12, ring12_exploration):
+        algorithm = FastSimultaneous(ring12_exploration, 8)
+        config = Configuration(labels=(3, 5), starts=(0, 6), delay=0)
+        result, text = replay_with_timeline(ring12, algorithm, config)
+        assert result.met
+        assert "meeting at node" in text
+
+    def test_timeline_requires_a_ring(self):
+        from repro.core.fast import Fast
+        from repro.exploration.dfs import KnownMapDFS
+
+        star = star_graph(5)
+        algorithm = Fast(KnownMapDFS(star), 4)
+        config = Configuration(labels=(1, 2), starts=(0, 3), delay=0)
+        with pytest.raises(ValueError, match="oriented rings"):
+            replay_with_timeline(star, algorithm, config)

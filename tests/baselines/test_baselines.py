@@ -1,0 +1,130 @@
+"""Tests for the oracle, ring-zigzag and random-walk baselines."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.oracle import OracleBaseline
+from repro.baselines.random_walk import RandomWalkRendezvous
+from repro.baselines.ring_zigzag import RingZigzag, fixed_length_bits
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, star_graph
+from repro.exploration.dfs import KnownMapDFS
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestOracle:
+    def test_time_is_one_exploration(self, ring12, ring12_exploration):
+        oracle = OracleBaseline(ring12_exploration, pair=(2, 5))
+        for start_b in (1, 6, 11):
+            result = simulate_rendezvous(
+                ring12, oracle, labels=(2, 5), starts=(0, start_b)
+            )
+            assert result.met
+            assert result.time <= 11
+            assert result.cost <= 11
+
+    def test_smaller_label_never_moves(self, ring12, ring12_exploration):
+        oracle = OracleBaseline(ring12_exploration, pair=(2, 5))
+        result = simulate_rendezvous(ring12, oracle, labels=(2, 5), starts=(0, 6))
+        assert result.costs[0] == 0
+
+    def test_works_on_general_graphs(self):
+        star = star_graph(7)
+        oracle = OracleBaseline(KnownMapDFS(star), pair=(1, 4))
+        result = simulate_rendezvous(star, oracle, labels=(1, 4), starts=(3, 6))
+        assert result.met
+        assert result.time <= 11  # 2n - 3
+
+    def test_label_outside_pair_rejected(self, ring12, ring12_exploration):
+        oracle = OracleBaseline(ring12_exploration, pair=(2, 5))
+        with pytest.raises(ValueError, match="not part of the pair"):
+            simulate_rendezvous(ring12, oracle, labels=(2, 7), starts=(0, 6))
+
+    def test_equal_pair_rejected(self, ring12_exploration):
+        with pytest.raises(ValueError, match="distinct"):
+            OracleBaseline(ring12_exploration, pair=(3, 3))
+
+
+class TestFixedLengthBits:
+    def test_equal_lengths_and_distinct(self):
+        label_space = 10
+        strings = [fixed_length_bits(l, label_space) for l in range(1, 11)]
+        assert len({len(s) for s in strings}) == 1
+        assert len(set(strings)) == 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_length_bits(11, 10)
+
+
+class TestRingZigzag:
+    def test_exhaustive_correctness(self):
+        n, label_space = 9, 4
+        ring = oriented_ring(n)
+        zigzag = RingZigzag(n, label_space)
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in range(1, n):
+                result = simulate_rendezvous(
+                    ring, zigzag, labels=(a, b), starts=(0, start_b)
+                )
+                assert result.met, (a, b, start_b)
+
+    def test_distance_sensitivity(self):
+        """The whole point of the baseline: nearby agents meet much faster
+        than far-apart ones, unlike the E-driven paper algorithms."""
+        n = 48
+        ring = oriented_ring(n)
+        zigzag = RingZigzag(n, label_space=4)
+
+        def meeting_time(start_b):
+            result = simulate_rendezvous(ring, zigzag, labels=(1, 2), starts=(0, start_b))
+            assert result.met
+            return result.time
+
+        near = meeting_time(1)
+        far = meeting_time(n // 2)
+        assert near < far
+
+    def test_plan_length_matches_schedule_length(self):
+        zigzag = RingZigzag(12, 6)
+        for label in range(1, 7):
+            assert len(zigzag.movement_plan(label)) == zigzag.schedule_length(label)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingZigzag(2, 4)
+        with pytest.raises(ValueError):
+            RingZigzag(12, 1)
+
+
+class TestRandomWalk:
+    def test_meets_on_small_ring(self, ring12):
+        walk = RandomWalkRendezvous(seed=42)
+        result = simulate_rendezvous(
+            ring12, walk, labels=(1, 2), starts=(0, 6), max_rounds=20000
+        )
+        assert result.met
+
+    def test_lazy_walk_beats_parity_trap(self):
+        """On a 2-node path two synchronized non-lazy walks swap forever;
+        laziness breaks the parity."""
+        from repro.graphs.families import path_graph
+
+        path = path_graph(2)
+        lazy = RandomWalkRendezvous(seed=7, lazy=True)
+        result = simulate_rendezvous(
+            path, lazy, labels=(1, 2), starts=(0, 1), max_rounds=1000
+        )
+        assert result.met
+
+    def test_deterministic_given_seed(self, ring12):
+        first = simulate_rendezvous(
+            ring12, RandomWalkRendezvous(seed=3), labels=(1, 2), starts=(0, 6),
+            max_rounds=20000,
+        )
+        second = simulate_rendezvous(
+            ring12, RandomWalkRendezvous(seed=3), labels=(1, 2), starts=(0, 6),
+            max_rounds=20000,
+        )
+        assert first.time == second.time

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, standard_test_suite
+
+
+@pytest.fixture
+def ring12():
+    """The oriented 12-ring: the standard lower-bound instance (6 | 12)."""
+    return oriented_ring(12)
+
+
+@pytest.fixture
+def ring12_exploration():
+    """The optimal exploration on the 12-ring (E = 11)."""
+    return RingExploration(12)
+
+
+@pytest.fixture
+def named_graphs():
+    """The fixed cross-family graph collection."""
+    return list(standard_test_suite(random.Random(0x5EED)))
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible randomized tests."""
+    return random.Random(0xDEC0DE)

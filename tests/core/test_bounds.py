@@ -1,0 +1,102 @@
+"""Tests for the closed-form bound formulas of Section 2."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bounds
+
+
+class TestCheapBounds:
+    def test_simultaneous(self):
+        assert bounds.cheap_simultaneous_time(3, 10) == 30
+        assert bounds.cheap_simultaneous_cost(10) == 10
+
+    def test_general(self):
+        assert bounds.cheap_time(2, 10) == 70  # (2l + 3) E
+        assert bounds.cheap_time_worst(8, 10) == 170  # (2L + 1) E
+        assert bounds.cheap_cost(10) == 30
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=100))
+    def test_general_dominates_simultaneous(self, label, budget):
+        assert bounds.cheap_time(label, budget) >= bounds.cheap_simultaneous_time(
+            label, budget
+        )
+        assert bounds.cheap_cost(budget) >= bounds.cheap_simultaneous_cost(budget)
+
+
+class TestFastBounds:
+    def test_values(self):
+        # L = 8: floor(log2(7)) = 2 -> simultaneous (2*2+4) E, general (4*2+9) E.
+        assert bounds.fast_simultaneous_time(8, 11) == 8 * 11
+        assert bounds.fast_time(8, 11) == 17 * 11
+        assert bounds.fast_cost(8, 11) == 2 * 17 * 11
+
+    def test_minimum_label_space(self):
+        # L = 2: floor(log2(1)) = 0.
+        assert bounds.fast_simultaneous_time(2, 5) == 4 * 5
+        assert bounds.fast_time(2, 5) == 9 * 5
+        with pytest.raises(ValueError):
+            bounds.fast_time(1, 5)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_logarithmic_growth(self, label_space):
+        # Doubling L adds at most one log step: 2E simultaneous, 4E general.
+        t1 = bounds.fast_time(label_space, 1)
+        t2 = bounds.fast_time(2 * label_space, 1)
+        assert t2 - t1 in (0, 4)
+
+
+class TestFwrBounds:
+    def test_label_length_matches_combinatorics(self):
+        assert bounds.fwr_label_length(6, 2) == 4
+        assert bounds.fwr_label_length(20, 3) == 6
+
+    def test_time_and_cost(self):
+        # L = 6, w = 2 -> t = 4 -> time (4*4 + 5) E.
+        assert bounds.fwr_time(6, 2, 10) == 210
+        assert bounds.fwr_cost_simultaneous(2, 10) == 40
+        assert bounds.fwr_cost(2, 10) == (8 * 2 + 6) * 10
+
+    @given(
+        st.integers(min_value=2, max_value=10**4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_time_within_corollary(self, label_space, weight):
+        """Proposition 2.3's t is at most the corollary's c * L^(1/c)."""
+        assert bounds.fwr_time(label_space, weight, 1) <= bounds.corollary_fwr_time(
+            label_space, weight, 1
+        )
+
+    @given(st.integers(min_value=2, max_value=10**4))
+    def test_cost_flat_in_label_space(self, label_space):
+        """The whole point of relabeling: cost does not depend on L."""
+        assert bounds.fwr_cost(2, 10) == bounds.fwr_cost(2, 10)
+        first = bounds.fwr_cost_simultaneous(2, 10)
+        assert first == 40  # independent of label_space by construction
+
+
+class TestLowerBoundCurves:
+    def test_thm31_curve(self):
+        # L = 8, E = 11 -> F = 6: (4 - 1) * 6 / 2 = 9 with zero slack.
+        assert bounds.thm31_time_lower(8, 11) == 9.0
+
+    def test_slack_reduces_the_bound(self):
+        assert bounds.thm31_time_lower(8, 11, slack=1) < bounds.thm31_time_lower(8, 11)
+
+    def test_fact317_curve(self):
+        assert bounds.fact317_cost_lower(6, 12) == 12.0
+
+
+class TestFloorLog2:
+    def test_values(self):
+        assert bounds._floor_log2(1) == 0
+        assert bounds._floor_log2(2) == 1
+        assert bounds._floor_log2(3) == 1
+        assert bounds._floor_log2(1024) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bounds._floor_log2(0)

@@ -1,0 +1,129 @@
+"""Tests for Algorithm Cheap, both variants (Proposition 2.1)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cheap import Cheap, CheapSimultaneous
+from repro.core.schedule import SegmentKind
+from repro.exploration.dfs import KnownMapDFS
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, star_graph
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestSchedules:
+    def test_general_schedule_shape(self, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=8)
+        schedule = algorithm.schedule(3)
+        kinds = [seg.kind for seg in schedule]
+        assert kinds == [SegmentKind.EXPLORE, SegmentKind.WAIT, SegmentKind.EXPLORE]
+        assert schedule.segments[1].rounds == 2 * 3 * 11
+
+    def test_simultaneous_schedule_shape(self, ring12_exploration):
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=8)
+        schedule = algorithm.schedule(4)
+        kinds = [seg.kind for seg in schedule]
+        assert kinds == [SegmentKind.WAIT, SegmentKind.EXPLORE]
+        assert schedule.segments[0].rounds == 3 * 11
+
+    def test_schedule_length(self, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=8)
+        assert algorithm.schedule_length(2) == 11 + 44 + 11
+
+    def test_label_validation(self, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=4)
+        with pytest.raises(ValueError, match="label space"):
+            algorithm.schedule(5)
+        with pytest.raises(ValueError, match="label space"):
+            algorithm.schedule(0)
+
+
+class TestCheapGeneralCorrectness:
+    def test_exhaustive_on_ring(self, ring12, ring12_exploration):
+        """Proposition 2.1 verified exhaustively for L=5 on the 12-ring."""
+        label_space = 5
+        algorithm = Cheap(ring12_exploration, label_space)
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in (1, 5, 11):
+                for delay in (0, 7, 11, 30):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b),
+                        delay=delay,
+                    )
+                    assert result.met
+                    smaller = min(a, b)
+                    # The bound holds independently of the delay: for
+                    # tau > E the sleeping agent is found within E rounds.
+                    assert result.time <= algorithm.time_bound(smaller)
+                    assert result.cost <= algorithm.cost_bound()
+
+    def test_big_delay_meets_during_first_exploration(self, ring12, ring12_exploration):
+        """If tau > E the sleeping agent is found within the first E rounds."""
+        algorithm = Cheap(ring12_exploration, label_space=4)
+        result = simulate_rendezvous(
+            ring12, algorithm, labels=(1, 2), starts=(0, 7), delay=50
+        )
+        assert result.met
+        assert result.time <= 11
+
+    def test_works_on_star_with_dfs(self):
+        star = star_graph(7)
+        algorithm = Cheap(KnownMapDFS(star), label_space=4)
+        for a, b in itertools.permutations(range(1, 5), 2):
+            result = simulate_rendezvous(
+                star, algorithm, labels=(a, b), starts=(2, 5), delay=3
+            )
+            assert result.met
+            assert result.cost <= algorithm.cost_bound()
+
+
+class TestCheapSimultaneousCorrectness:
+    def test_cost_is_exactly_one_exploration_on_rings(self, ring12, ring12_exploration):
+        """The paper: with simultaneous start, Cheap has cost exactly E.
+
+        (Exactly E because the ring walk uses every one of its E moves.)
+        """
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=6)
+        for a, b in itertools.permutations(range(1, 7), 2):
+            for start_b in (1, 6, 11):
+                result = simulate_rendezvous(
+                    ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                )
+                assert result.met
+                assert result.cost <= 11
+                smaller = min(a, b)
+                assert result.time <= smaller * 11
+
+    def test_worst_case_time_hits_the_bound_exactly(self, ring12, ring12_exploration):
+        # Labels (5, 6) with the partner one step counterclockwise: the
+        # smaller agent waits 4E rounds and then needs all 11 clockwise
+        # steps -- meeting at exactly l * E = 55, the paper's bound.
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=6)
+        result = simulate_rendezvous(
+            ring12, algorithm, labels=(5, 6), starts=(0, 11)
+        )
+        assert result.met
+        assert result.time == 5 * 11 == algorithm.time_bound(5)
+
+    def test_smaller_label_pays_the_cost(self, ring12, ring12_exploration):
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=6)
+        result = simulate_rendezvous(ring12, algorithm, labels=(2, 5), starts=(0, 6))
+        assert result.met
+        assert result.costs[0] > 0  # the smaller label moved
+        assert result.costs[1] == 0  # the larger was still waiting
+
+
+class TestBoundsInterface:
+    def test_declared_bounds(self, ring12_exploration):
+        algorithm = Cheap(ring12_exploration, label_space=8)
+        assert algorithm.time_bound() == (2 * 8 + 1) * 11
+        assert algorithm.time_bound(3) == (2 * 3 + 3) * 11
+        assert algorithm.cost_bound() == 3 * 11
+
+    def test_simultaneous_flag(self, ring12_exploration):
+        assert CheapSimultaneous(ring12_exploration, 4).requires_simultaneous_start
+        assert not Cheap(ring12_exploration, 4).requires_simultaneous_start
+
+    def test_repr(self, ring12_exploration):
+        assert repr(Cheap(ring12_exploration, 8)) == "Cheap(E=11, L=8)"

@@ -1,0 +1,116 @@
+"""Edge cases: smallest legal instances of every parameter."""
+
+import pytest
+
+from repro.core import (
+    Cheap,
+    CheapSimultaneous,
+    Fast,
+    FastSimultaneous,
+    FastWithRelabeling,
+    FastWithRelabelingSimultaneous,
+)
+from repro.core.labels import modified_label
+from repro.core.relabeling import smallest_t
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, path_graph
+from repro.exploration.dfs import KnownMapDFS
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestSmallestLabelSpace:
+    """L = 2: the minimum label space where rendezvous is non-trivial."""
+
+    def test_all_algorithms_work(self):
+        ring = oriented_ring(3)
+        exploration = RingExploration(3)
+        algorithms = [
+            Cheap(exploration, 2),
+            CheapSimultaneous(exploration, 2),
+            Fast(exploration, 2),
+            FastSimultaneous(exploration, 2),
+            FastWithRelabeling(exploration, 2, 1),
+            FastWithRelabelingSimultaneous(exploration, 2, 1),
+        ]
+        for algorithm in algorithms:
+            delays = (0,) if algorithm.requires_simultaneous_start else (0, 2)
+            for delay in delays:
+                for start_b in (1, 2):
+                    result = simulate_rendezvous(
+                        ring, algorithm, labels=(1, 2), starts=(0, start_b),
+                        delay=delay,
+                    )
+                    assert result.met, (algorithm.name, delay, start_b)
+                    assert result.time <= algorithm.time_bound()
+
+    def test_label_space_one_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Fast(RingExploration(3), 1)
+
+
+class TestLabelOne:
+    """Label 1 has the shortest binary representation (one bit)."""
+
+    def test_modified_label_is_minimal(self):
+        assert modified_label(1) == (1, 1, 0, 1)
+
+    def test_fast_schedule_for_label_one(self):
+        algorithm = Fast(RingExploration(3), 4)
+        bits = algorithm.transformed_bits(1)
+        # T = (1, then M(1) = 1101 doubled) = (1, 11 11 00 11).
+        assert bits == (1, 1, 1, 1, 1, 0, 0, 1, 1)
+
+
+class TestTinyGraphs:
+    def test_two_node_path(self):
+        """n = 2: the smallest network with two distinct starting nodes."""
+        path = path_graph(2)
+        algorithm = Fast(KnownMapDFS(path), 4)
+        result = simulate_rendezvous(path, algorithm, labels=(2, 3), starts=(0, 1))
+        assert result.met
+
+    def test_three_ring_all_configurations(self):
+        ring = oriented_ring(3)
+        algorithm = Cheap(RingExploration(3), 3)
+        for labels in ((1, 2), (2, 1), (1, 3), (3, 2)):
+            for start_b in (1, 2):
+                for delay in (0, 1, 5):
+                    result = simulate_rendezvous(
+                        ring, algorithm, labels=labels, starts=(0, start_b),
+                        delay=delay,
+                    )
+                    assert result.met
+
+
+class TestRelabelingBoundaries:
+    def test_weight_equals_needed_length(self):
+        # L = 1 would give t = w exactly; with L = 2, w = 1 gives t = 2.
+        assert smallest_t(1, 3) == 3
+        assert smallest_t(2, 1) == 2
+
+    def test_weight_larger_than_log_l_still_works(self):
+        """Nothing stops w from exceeding log2 L; t just stays near w."""
+        ring = oriented_ring(6)
+        algorithm = FastWithRelabelingSimultaneous(RingExploration(6), 4, 5)
+        assert algorithm.label_length == smallest_t(4, 5)  # = 6
+        result = simulate_rendezvous(ring, algorithm, labels=(2, 4), starts=(0, 3))
+        assert result.met
+
+    def test_weight_one_time_is_linear_in_l(self):
+        """w = 1 degenerates to unary labels: t = L, time ~ L E -- the
+        curve's cheap end rejoins Cheap's complexity."""
+        algorithm = FastWithRelabelingSimultaneous(RingExploration(6), 10, 1)
+        assert algorithm.label_length == 10
+
+
+class TestScheduleLengthMonotone:
+    def test_cheap_schedule_grows_with_label(self):
+        algorithm = Cheap(RingExploration(6), 8)
+        lengths = [algorithm.schedule_length(label) for label in range(1, 9)]
+        assert lengths == sorted(lengths)
+        assert lengths[0] < lengths[-1]
+
+    def test_fast_schedule_grows_with_bit_length(self):
+        algorithm = Fast(RingExploration(6), 64)
+        assert algorithm.schedule_length(1) < algorithm.schedule_length(2)
+        assert algorithm.schedule_length(3) < algorithm.schedule_length(4)

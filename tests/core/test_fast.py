@@ -1,0 +1,129 @@
+"""Tests for Algorithm Fast, both variants (Proposition 2.2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.fast import Fast, FastSimultaneous, delay_tolerant_bits
+from repro.core.labels import modified_label
+from repro.core.schedule import SegmentKind
+from repro.exploration.dfs import KnownMapDFS
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import full_binary_tree, oriented_ring
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestBitConstruction:
+    def test_delay_tolerant_bits_shape(self):
+        # T = (1, S1, S1, S2, S2, ...) -- Algorithm 2 line 2.
+        assert delay_tolerant_bits((1, 0)) == (1, 1, 1, 0, 0)
+
+    def test_fast_uses_modified_label(self, ring12_exploration):
+        algorithm = Fast(ring12_exploration, label_space=8)
+        assert algorithm.transformed_bits(5) == delay_tolerant_bits(modified_label(5))
+
+    def test_simultaneous_uses_modified_label_directly(self, ring12_exploration):
+        algorithm = FastSimultaneous(ring12_exploration, label_space=8)
+        assert algorithm.transformed_bits(5) == modified_label(5)
+
+    def test_schedule_segments_match_bits(self, ring12_exploration):
+        algorithm = FastSimultaneous(ring12_exploration, label_space=8)
+        schedule = algorithm.schedule(2)  # M(2) = 110001... wait: (1,1,0,0,0,1)
+        kinds = [seg.kind for seg in schedule]
+        expected = [
+            SegmentKind.EXPLORE if bit else SegmentKind.WAIT
+            for bit in modified_label(2)
+        ]
+        assert kinds == expected
+
+
+class TestFastGeneralCorrectness:
+    def test_exhaustive_on_ring(self, ring12, ring12_exploration):
+        label_space = 5
+        algorithm = Fast(ring12_exploration, label_space)
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in (1, 6, 11):
+                for delay in (0, 5, 11, 40):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b),
+                        delay=delay,
+                    )
+                    assert result.met
+                    assert result.time <= algorithm.time_bound()
+                    assert result.cost <= algorithm.cost_bound()
+
+    def test_meeting_by_first_differing_block(self, ring12, ring12_exploration):
+        """The proof's structure: meeting by round (2j + 1) E where j is the
+        first index at which the modified labels differ."""
+        algorithm = Fast(ring12_exploration, label_space=8)
+        for a, b in ((1, 2), (3, 5), (6, 7)):
+            s_a, s_b = modified_label(a), modified_label(b)
+            j = next(
+                i for i, (x, y) in enumerate(zip(s_a, s_b), start=1) if x != y
+            )
+            result = simulate_rendezvous(
+                ring12, algorithm, labels=(a, b), starts=(0, 6), delay=4
+            )
+            assert result.met
+            assert result.time <= (2 * j + 1) * 11
+
+    def test_works_on_trees(self):
+        tree = full_binary_tree(2)
+        algorithm = Fast(KnownMapDFS(tree), label_space=6)
+        for a, b in ((1, 6), (2, 3), (4, 5)):
+            for delay in (0, 9):
+                result = simulate_rendezvous(
+                    tree, algorithm, labels=(a, b), starts=(1, 4), delay=delay
+                )
+                assert result.met
+                assert result.time <= algorithm.time_bound()
+
+
+class TestFastSimultaneousCorrectness:
+    def test_exhaustive_on_ring(self, ring12, ring12_exploration):
+        label_space = 6
+        algorithm = FastSimultaneous(ring12_exploration, label_space)
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in (1, 4, 11):
+                result = simulate_rendezvous(
+                    ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                )
+                assert result.met
+                assert result.time <= algorithm.time_bound()
+                assert result.cost <= algorithm.cost_bound()
+
+    def test_time_scales_with_log_label_space(self, ring12, ring12_exploration):
+        """Fast's signature property: worst time grows like log L, not L."""
+
+        def worst_time(label_space):
+            algorithm = FastSimultaneous(ring12_exploration, label_space)
+            worst = 0
+            pairs = itertools.permutations(
+                (1, label_space // 2, label_space - 1, label_space), 2
+            )
+            for a, b in pairs:
+                if a == b:
+                    continue
+                for start_b in (1, 6, 11):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                    )
+                    worst = max(worst, result.time)
+            return worst
+
+        assert worst_time(64) <= worst_time(8) * 4  # log growth, not 8x
+
+
+class TestCostStructure:
+    def test_cost_at_most_twice_time(self, ring12, ring12_exploration):
+        algorithm = Fast(ring12_exploration, label_space=8)
+        result = simulate_rendezvous(
+            ring12, algorithm, labels=(3, 6), starts=(0, 5), delay=2
+        )
+        assert result.met
+        assert result.cost <= 2 * result.time
+
+    def test_declared_bounds(self, ring12_exploration):
+        algorithm = Fast(ring12_exploration, label_space=8)
+        assert algorithm.time_bound() == (4 * 2 + 9) * 11
+        assert algorithm.cost_bound() == 2 * algorithm.time_bound()

@@ -1,0 +1,137 @@
+"""Tests for Algorithm FastWithRelabeling (Proposition 2.3, Corollary 2.1)."""
+
+import itertools
+
+import pytest
+
+from repro.core.fast_relabel import (
+    FastWithRelabeling,
+    FastWithRelabelingSimultaneous,
+)
+from repro.core.relabeling import smallest_t
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestRelabelingIntegration:
+    def test_new_labels_distinct_and_low_weight(self, ring12_exploration):
+        label_space, weight = 10, 2
+        algorithm = FastWithRelabeling(ring12_exploration, label_space, weight)
+        new_labels = {algorithm.new_label(l) for l in range(1, label_space + 1)}
+        assert len(new_labels) == label_space
+        assert all(sum(bits) == weight for bits in new_labels)
+        assert all(len(bits) == algorithm.label_length for bits in new_labels)
+
+    def test_label_length_is_smallest_t(self, ring12_exploration):
+        algorithm = FastWithRelabeling(ring12_exploration, 20, 3)
+        assert algorithm.label_length == smallest_t(20, 3)
+
+    def test_weight_validation(self, ring12_exploration):
+        with pytest.raises(ValueError, match="weight"):
+            FastWithRelabeling(ring12_exploration, 8, 0)
+
+    def test_name_carries_weight(self, ring12_exploration):
+        assert "w=3" in FastWithRelabeling(ring12_exploration, 8, 3).name
+
+
+class TestDelayTolerantCorrectness:
+    @pytest.mark.parametrize("weight", [1, 2, 3])
+    def test_exhaustive_small(self, ring12, ring12_exploration, weight):
+        label_space = 5
+        algorithm = FastWithRelabeling(ring12_exploration, label_space, weight)
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in (1, 6):
+                for delay in (0, 8, 25):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b),
+                        delay=delay,
+                    )
+                    assert result.met
+                    assert result.time <= algorithm.time_bound()
+                    assert result.cost <= algorithm.cost_bound()
+
+
+class TestSimultaneousCorrectness:
+    @pytest.mark.parametrize("weight", [1, 2])
+    def test_exhaustive_small(self, ring12, ring12_exploration, weight):
+        label_space = 6
+        algorithm = FastWithRelabelingSimultaneous(
+            ring12_exploration, label_space, weight
+        )
+        for a, b in itertools.permutations(range(1, label_space + 1), 2):
+            for start_b in (1, 5, 11):
+                result = simulate_rendezvous(
+                    ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                )
+                assert result.met
+                assert result.time <= algorithm.time_bound()
+                assert result.cost <= algorithm.cost_bound()
+
+    def test_paper_cost_accounting_2wE(self, ring12, ring12_exploration):
+        """Proposition 2.3's cost bound 2wE is met by the simultaneous
+        schedule: each agent explores at most w times before meeting."""
+        weight = 2
+        algorithm = FastWithRelabelingSimultaneous(ring12_exploration, 8, weight)
+        assert algorithm.cost_bound() == 2 * weight * 11
+
+
+class TestTradeoffPosition:
+    def test_cost_flat_as_label_space_grows(self, ring12, ring12_exploration):
+        """Corollary 2.1: with constant w the cost is O(E), independent of L."""
+
+        def worst_cost(label_space):
+            algorithm = FastWithRelabelingSimultaneous(
+                ring12_exploration, label_space, weight=2
+            )
+            worst = 0
+            for a, b in ((1, 2), (1, label_space), (label_space - 1, label_space)):
+                for start_b in (1, 6, 11):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                    )
+                    worst = max(worst, result.cost)
+            return worst
+
+        assert worst_cost(64) <= 2 * 2 * 11  # stays within 2wE
+        assert worst_cost(256) <= 2 * 2 * 11
+
+    def test_time_grows_like_sqrt_for_weight_two(self, ring12_exploration):
+        """Corollary 2.1: time O(L^{1/w} E); for w=2 the schedule length
+        grows like sqrt(L), far below Cheap's linear growth."""
+        lengths = {}
+        for label_space in (16, 256):
+            algorithm = FastWithRelabeling(ring12_exploration, label_space, 2)
+            lengths[label_space] = algorithm.schedule_length(label_space)
+        # L grew 16x; sqrt growth means roughly 4x (allow generous slack),
+        # while linear growth would be 16x.
+        assert lengths[256] <= 6 * lengths[16]
+
+    def test_sits_between_cheap_and_fast(self, ring12, ring12_exploration):
+        """The separation the algorithm exists to show: cheaper than Fast,
+        faster than Cheap (at their respective worst configurations)."""
+        from repro.core.cheap import CheapSimultaneous
+        from repro.core.fast import FastSimultaneous
+
+        label_space = 32
+        cheap = CheapSimultaneous(ring12_exploration, label_space)
+        fast = FastSimultaneous(ring12_exploration, label_space)
+        fwr = FastWithRelabelingSimultaneous(ring12_exploration, label_space, 2)
+
+        def worst(algorithm):
+            worst_time = worst_cost = 0
+            for a, b in ((31, 32), (1, 32), (15, 16)):
+                for start_b in (1, 11):
+                    result = simulate_rendezvous(
+                        ring12, algorithm, labels=(a, b), starts=(0, start_b)
+                    )
+                    worst_time = max(worst_time, result.time)
+                    worst_cost = max(worst_cost, result.cost)
+            return worst_time, worst_cost
+
+        cheap_time, cheap_cost = worst(cheap)
+        fast_time, fast_cost = worst(fast)
+        fwr_time, fwr_cost = worst(fwr)
+        assert fwr_time < cheap_time  # faster than Cheap
+        assert fwr_cost < fast_cost  # cheaper than Fast
+        assert cheap_cost <= fwr_cost  # but not cheaper than Cheap

@@ -1,0 +1,92 @@
+"""Tests for the label transformation ``M`` (including its two key
+properties: injectivity and prefix-freeness)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    binary_bits,
+    is_prefix,
+    modified_label,
+    modified_label_length,
+    transform_bits,
+)
+
+
+class TestBinaryBits:
+    def test_examples(self):
+        assert binary_bits(1) == (1,)
+        assert binary_bits(2) == (1, 0)
+        assert binary_bits(5) == (1, 0, 1)
+        assert binary_bits(12) == (1, 1, 0, 0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            binary_bits(0)
+        with pytest.raises(ValueError):
+            binary_bits(-3)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_round_trip(self, label):
+        bits = binary_bits(label)
+        assert int("".join(map(str, bits)), 2) == label
+        assert bits[0] == 1  # no leading zeros
+
+
+class TestTransformBits:
+    def test_paper_example_shape(self):
+        # M(x) for x = (c1 c2) is (c1 c1 c2 c2 0 1).
+        assert transform_bits((1, 0)) == (1, 1, 0, 0, 0, 1)
+
+    def test_rejects_empty_and_non_bits(self):
+        with pytest.raises(ValueError):
+            transform_bits(())
+        with pytest.raises(ValueError):
+            transform_bits((0, 2))
+
+    def test_preserves_leading_zeros(self):
+        # FastWithRelabeling feeds fixed-length strings with leading zeros.
+        assert transform_bits((0, 1)) == (0, 0, 1, 1, 0, 1)
+
+
+class TestModifiedLabel:
+    def test_examples(self):
+        assert modified_label(1) == (1, 1, 0, 1)
+        assert modified_label(2) == (1, 1, 0, 0, 0, 1)
+        assert modified_label(3) == (1, 1, 1, 1, 0, 1)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_length_formula(self, label):
+        assert len(modified_label(label)) == modified_label_length(label)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_injective(self, x, y):
+        if x != y:
+            assert modified_label(x) != modified_label(y)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_prefix_free(self, x, y):
+        """The property Algorithm Fast's correctness rests on: for distinct
+        labels, M(x) is never a prefix of M(y)."""
+        if x == y:
+            return
+        assert not is_prefix(modified_label(x), modified_label(y))
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_ends_with_delimiter(self, label):
+        assert modified_label(label)[-2:] == (0, 1)
+
+
+class TestIsPrefix:
+    def test_basics(self):
+        assert is_prefix((1, 0), (1, 0, 1))
+        assert is_prefix((), (1,))
+        assert not is_prefix((1, 1), (1, 0, 1))
+        assert not is_prefix((1, 0, 1, 0), (1, 0))

@@ -1,0 +1,102 @@
+"""Tests for the low-weight relabeling used by FastWithRelabeling."""
+
+from math import comb
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.relabeling import lex_rank, lex_subset_bits, relabel_bits, smallest_t
+
+
+class TestSmallestT:
+    def test_examples(self):
+        assert smallest_t(1, 1) == 1
+        assert smallest_t(6, 1) == 6  # C(6,1) = 6
+        assert smallest_t(6, 2) == 4  # C(4,2) = 6
+        assert smallest_t(7, 2) == 5  # C(4,2) = 6 < 7 <= C(5,2) = 10
+        assert smallest_t(20, 3) == 6  # C(6,3) = 20
+
+    def test_definition(self):
+        for label_space in (2, 5, 16, 100):
+            for weight in (1, 2, 3):
+                t = smallest_t(label_space, weight)
+                assert comb(t, weight) >= label_space
+                if t > weight:
+                    assert comb(t - 1, weight) < label_space
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            smallest_t(0, 1)
+        with pytest.raises(ValueError):
+            smallest_t(5, 0)
+
+
+class TestLexSubsets:
+    def test_explicit_order_for_t4_w2(self):
+        # Characteristic strings of 2-subsets of {1..4} in lex order.
+        expected = [
+            (0, 0, 1, 1),
+            (0, 1, 0, 1),
+            (0, 1, 1, 0),
+            (1, 0, 0, 1),
+            (1, 0, 1, 0),
+            (1, 1, 0, 0),
+        ]
+        assert [lex_subset_bits(r, 4, 2) for r in range(6)] == expected
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            lex_subset_bits(6, 4, 2)
+        with pytest.raises(ValueError):
+            lex_subset_bits(-1, 4, 2)
+
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_round_trip(self, t, data):
+        weight = data.draw(st.integers(min_value=1, max_value=t))
+        rank = data.draw(st.integers(min_value=0, max_value=comb(t, weight) - 1))
+        bits = lex_subset_bits(rank, t, weight)
+        assert len(bits) == t
+        assert sum(bits) == weight
+        assert lex_rank(bits) == rank
+
+    @given(st.integers(min_value=2, max_value=9), st.data())
+    def test_order_preserving(self, t, data):
+        weight = data.draw(st.integers(min_value=1, max_value=t - 1))
+        total = comb(t, weight)
+        r1 = data.draw(st.integers(min_value=0, max_value=total - 2))
+        r2 = data.draw(st.integers(min_value=r1 + 1, max_value=total - 1))
+        assert lex_subset_bits(r1, t, weight) < lex_subset_bits(r2, t, weight)
+
+
+class TestRelabelBits:
+    def test_distinct_labels_get_distinct_strings(self):
+        label_space, weight = 12, 2
+        strings = {relabel_bits(l, label_space, weight) for l in range(1, 13)}
+        assert len(strings) == 12
+
+    def test_every_string_has_exact_weight(self):
+        for weight in (1, 2, 3):
+            for label in range(1, 9):
+                bits = relabel_bits(label, 8, weight)
+                assert sum(bits) == weight
+                assert len(bits) == smallest_t(8, weight)
+
+    def test_label_out_of_space_rejected(self):
+        with pytest.raises(ValueError):
+            relabel_bits(9, 8, 2)
+        with pytest.raises(ValueError):
+            relabel_bits(0, 8, 2)
+
+    def test_weight_one_is_unary_positions(self):
+        # With w = 1 the l-th lex-smallest 1-subset puts the single 1 at
+        # position t - l + 1 ... i.e. labels map to distinct unary slots.
+        label_space = 5
+        strings = [relabel_bits(l, label_space, 1) for l in range(1, 6)]
+        assert strings == [
+            (0, 0, 0, 0, 1),
+            (0, 0, 0, 1, 0),
+            (0, 0, 1, 0, 0),
+            (0, 1, 0, 0, 0),
+            (1, 0, 0, 0, 0),
+        ]

@@ -1,0 +1,87 @@
+"""Property-based integration tests: the paper's guarantees hold on random
+instances, random label pairs and random delays."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cheap import Cheap
+from repro.core.fast import Fast
+from repro.core.fast_relabel import FastWithRelabeling
+from repro.exploration.dfs import KnownMapDFS
+from repro.graphs.families import random_connected_graph
+from repro.sim.simulator import simulate_rendezvous
+
+LABEL_SPACE = 8
+
+
+@st.composite
+def rendezvous_instances(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    extra = draw(st.integers(min_value=0, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    graph = random_connected_graph(n, extra, random.Random(seed))
+    label_a = draw(st.integers(min_value=1, max_value=LABEL_SPACE))
+    label_b = draw(
+        st.integers(min_value=1, max_value=LABEL_SPACE).filter(lambda x: x != label_a)
+    )
+    start_a = draw(st.integers(min_value=0, max_value=n - 1))
+    start_b = draw(
+        st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != start_a)
+    )
+    delay = draw(st.integers(min_value=0, max_value=3 * n))
+    return graph, (label_a, label_b), (start_a, start_b), delay
+
+
+@given(rendezvous_instances())
+@settings(max_examples=40, deadline=None)
+def test_cheap_always_meets_within_bounds(instance):
+    graph, labels, starts, delay = instance
+    algorithm = Cheap(KnownMapDFS(graph), LABEL_SPACE)
+    result = simulate_rendezvous(
+        graph, algorithm, labels=labels, starts=starts, delay=delay
+    )
+    assert result.met
+    assert result.time <= algorithm.time_bound(min(labels))
+    assert result.cost <= algorithm.cost_bound()
+
+
+@given(rendezvous_instances())
+@settings(max_examples=40, deadline=None)
+def test_fast_always_meets_within_bounds(instance):
+    graph, labels, starts, delay = instance
+    algorithm = Fast(KnownMapDFS(graph), LABEL_SPACE)
+    result = simulate_rendezvous(
+        graph, algorithm, labels=labels, starts=starts, delay=delay
+    )
+    assert result.met
+    assert result.time <= algorithm.time_bound()
+    assert result.cost <= algorithm.cost_bound()
+
+
+@given(rendezvous_instances(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_fast_with_relabeling_always_meets_within_bounds(instance, weight):
+    graph, labels, starts, delay = instance
+    algorithm = FastWithRelabeling(KnownMapDFS(graph), LABEL_SPACE, weight)
+    result = simulate_rendezvous(
+        graph, algorithm, labels=labels, starts=starts, delay=delay
+    )
+    assert result.met
+    assert result.time <= algorithm.time_bound()
+    assert result.cost <= algorithm.cost_bound()
+
+
+@given(rendezvous_instances())
+@settings(max_examples=25, deadline=None)
+def test_time_dominates_cost_over_two(instance):
+    """Structural invariant: two agents make at most two traversals per
+    round, so cost <= 2 * time in every execution."""
+    graph, labels, starts, delay = instance
+    algorithm = Fast(KnownMapDFS(graph), LABEL_SPACE)
+    result = simulate_rendezvous(
+        graph, algorithm, labels=labels, starts=starts, delay=delay
+    )
+    assert result.met
+    assert result.cost <= 2 * result.time

@@ -1,0 +1,115 @@
+"""Tests for the unknown-``E`` iterated-doubling wrapper (Conclusion)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.cheap import Cheap
+from repro.core.fast import Fast
+from repro.core.unknown_e import (
+    IteratedDoublingRendezvous,
+    ring_level_factory,
+    uxs_level_factory,
+)
+from repro.graphs.families import oriented_ring, path_graph, star_graph
+from repro.sim.simulator import simulate_rendezvous
+
+
+class TestRingLevels:
+    def test_level_budgets_double(self):
+        factory = ring_level_factory()
+        assert factory(2).budget == 3  # ring size 4
+        assert factory(3).budget == 7
+        assert factory(4).budget == 15
+
+    def test_meets_on_ring_of_unknown_size(self):
+        # Ring size 12: iteration 4 (budget 15 >= 11) is the first correct one.
+        ring = oriented_ring(12)
+        wrapper = IteratedDoublingRendezvous(
+            Fast, ring_level_factory(), label_space=4, start_level=2, max_level=6
+        )
+        for a, b in itertools.permutations(range(1, 5), 2):
+            result = simulate_rendezvous(
+                ring, wrapper, labels=(a, b), starts=(0, 7), delay=0
+            )
+            assert result.met
+
+    def test_telescoping_overhead_is_constant_factor(self):
+        """Total rounds through the first correct level are within a small
+        constant of running the algorithm with the exact E directly."""
+        ring = oriented_ring(12)
+        wrapper = IteratedDoublingRendezvous(
+            Fast, ring_level_factory(), label_space=4, start_level=2, max_level=8
+        )
+        level = wrapper.level_needed(12)
+        assert level == 4
+        from repro.exploration.ring import RingExploration
+
+        direct = Fast(RingExploration(12), 4)
+        total = wrapper.horizon_through(4, level)
+        assert total <= 4 * direct.schedule_length(4)
+
+    def test_works_with_cheap_inner_algorithm(self):
+        ring = oriented_ring(9)
+        wrapper = IteratedDoublingRendezvous(
+            Cheap, ring_level_factory(), label_space=3, start_level=2, max_level=5
+        )
+        result = simulate_rendezvous(ring, wrapper, labels=(1, 3), starts=(0, 4))
+        assert result.met
+
+
+class TestUxsLevels:
+    def test_meets_on_graph_of_unknown_size(self):
+        # Corpus per level: stars and paths up to 2^level nodes.
+        def corpus(level):
+            size = 2**level
+            graphs = []
+            for n in range(2, size + 1):
+                graphs.append(path_graph(n))
+                if n >= 2:
+                    graphs.append(star_graph(n))
+            return graphs
+
+        factory = uxs_level_factory(corpus, rng=random.Random(3))
+        wrapper = IteratedDoublingRendezvous(
+            Fast, factory, label_space=3, start_level=2, max_level=3
+        )
+        star = star_graph(7)  # fits at level 3 (2^3 = 8 >= 7)
+        result = simulate_rendezvous(
+            star, wrapper, labels=(1, 3), starts=(0, 4),
+            provide_map=False, provide_position=False,
+        )
+        assert result.met
+
+    def test_level_cache_reuses_sequences(self):
+        calls = []
+
+        def corpus(level):
+            calls.append(level)
+            return [path_graph(2**level)]
+
+        factory = uxs_level_factory(corpus, rng=random.Random(0))
+        factory(2)
+        factory(2)
+        assert calls == [2]
+
+
+class TestValidation:
+    def test_level_bounds_checked(self):
+        with pytest.raises(ValueError, match="start_level"):
+            IteratedDoublingRendezvous(Fast, ring_level_factory(), 4, start_level=0)
+        with pytest.raises(ValueError, match="start_level"):
+            IteratedDoublingRendezvous(
+                Fast, ring_level_factory(), 4, start_level=5, max_level=3
+            )
+
+    def test_schedule_length_sums_levels(self):
+        wrapper = IteratedDoublingRendezvous(
+            Fast, ring_level_factory(), label_space=4, start_level=2, max_level=3
+        )
+        expected = (
+            wrapper.algorithm_at(2).schedule_length(4)
+            + wrapper.algorithm_at(3).schedule_length(4)
+        )
+        assert wrapper.schedule_length(4) == expected

@@ -1,0 +1,101 @@
+"""Tests for DFS walks and the known-map DFS exploration."""
+
+import pytest
+
+from repro.exploration.base import measure_exploration
+from repro.exploration.dfs import KnownMapDFS, dfs_walk_ports
+from repro.graphs.families import (
+    complete_graph,
+    full_binary_tree,
+    oriented_ring,
+    path_graph,
+    star_graph,
+)
+
+
+def walk_positions(graph, start, ports):
+    """Replay a port walk, returning the visited node sequence."""
+    node = start
+    nodes = [node]
+    for port in ports:
+        node, _ = graph.neighbor_via(node, port)
+        nodes.append(node)
+    return nodes
+
+
+class TestDfsWalkPorts:
+    def test_closed_walk_returns_to_root(self):
+        graph = full_binary_tree(3)
+        for root in (0, 3, 14):
+            ports = dfs_walk_ports(graph, root, closed=True)
+            nodes = walk_positions(graph, root, ports)
+            assert nodes[-1] == root
+            assert set(nodes) == set(range(graph.num_nodes))
+            assert len(ports) == 2 * (graph.num_nodes - 1)
+
+    def test_open_walk_is_shorter_and_complete(self):
+        graph = star_graph(9)
+        for root in range(graph.num_nodes):
+            ports = dfs_walk_ports(graph, root, closed=False)
+            nodes = walk_positions(graph, root, ports)
+            assert set(nodes) == set(range(graph.num_nodes))
+            assert len(ports) <= 2 * graph.num_nodes - 3
+
+    def test_open_walk_on_star_center_hits_bound_exactly(self):
+        # From the star's center the open DFS is 2n - 3: out-and-back for
+        # every leaf except the last.
+        star = star_graph(7)
+        ports = dfs_walk_ports(star, 0, closed=False)
+        assert len(ports) == 2 * star.num_nodes - 3
+
+    def test_open_walk_on_path_end_is_minimal(self):
+        # From an endpoint of a path the open DFS is just n - 1 steps.
+        path = path_graph(6)
+        ports = dfs_walk_ports(path, 0, closed=False)
+        assert len(ports) == 5
+
+
+class TestKnownMapDFS:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(7), star_graph(8), full_binary_tree(3), complete_graph(5), oriented_ring(9)],
+        ids=["path", "star", "tree", "complete", "ring"],
+    )
+    def test_visits_everything_within_budget(self, graph):
+        procedure = KnownMapDFS(graph)
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(procedure, graph, start)
+            assert visited == set(range(graph.num_nodes))
+            assert moves <= procedure.budget
+
+    def test_budgets(self):
+        assert KnownMapDFS(star_graph(9)).budget == 15  # 2n - 3
+        assert KnownMapDFS(star_graph(9), closed=True).budget == 16  # 2n - 2
+
+    def test_closed_variant_ends_at_start(self):
+        graph = full_binary_tree(2)
+        procedure = KnownMapDFS(graph, closed=True)
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(procedure, graph, start)
+            assert visited == set(range(graph.num_nodes))
+            assert moves == 2 * (graph.num_nodes - 1)
+
+    def test_requires_position_capability(self):
+        graph = star_graph(4)
+        procedure = KnownMapDFS(graph)
+        with pytest.raises(ValueError, match="marked current position"):
+            measure_exploration(procedure, graph, 0, provide_position=False)
+
+    def test_requires_map(self):
+        graph = star_graph(4)
+        procedure = KnownMapDFS(graph)
+        with pytest.raises(ValueError, match="map"):
+            measure_exploration(procedure, graph, 0, provide_map=False)
+
+    def test_single_edge_graph(self):
+        graph = path_graph(2)
+        procedure = KnownMapDFS(graph)
+        assert procedure.budget == 1
+        visited, moves = measure_exploration(procedure, graph, 0)
+        assert visited == {0, 1}
+        assert moves == 1

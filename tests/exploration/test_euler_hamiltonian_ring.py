@@ -1,0 +1,123 @@
+"""Tests for the Eulerian, Hamiltonian and ring exploration procedures."""
+
+import pytest
+
+from repro.exploration.base import ExplorationBudgetError, measure_exploration
+from repro.exploration.euler import (
+    EulerianExploration,
+    eulerian_circuit_ports,
+    has_eulerian_circuit,
+)
+from repro.exploration.hamiltonian import (
+    HamiltonianExploration,
+    find_hamiltonian_cycle,
+)
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import (
+    complete_graph,
+    hypercube,
+    oriented_ring,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    torus_grid,
+)
+
+
+class TestEulerian:
+    def test_predicate(self):
+        assert has_eulerian_circuit(oriented_ring(5))
+        assert has_eulerian_circuit(torus_grid(3, 3))
+        assert not has_eulerian_circuit(path_graph(4))
+        assert not has_eulerian_circuit(petersen_graph())  # 3-regular
+
+    @pytest.mark.parametrize(
+        "graph", [oriented_ring(6), torus_grid(3, 4), complete_graph(5)],
+        ids=["ring", "torus", "K5"],
+    )
+    def test_circuit_traverses_every_edge_once(self, graph):
+        for start in range(graph.num_nodes):
+            ports = eulerian_circuit_ports(graph, start)
+            assert len(ports) == graph.num_edges
+            node = start
+            traversed = set()
+            for port in ports:
+                key = frozenset(((node, port), graph.neighbor_via(node, port)))
+                assert key not in traversed
+                traversed.add(key)
+                node, _ = graph.neighbor_via(node, port)
+            assert node == start  # a circuit
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            eulerian_circuit_ports(path_graph(3), 0)
+        with pytest.raises(ValueError, match="even"):
+            EulerianExploration(star_graph(4))
+
+    def test_exploration_budget_is_edges_minus_one(self):
+        graph = torus_grid(3, 3)
+        procedure = EulerianExploration(graph)
+        assert procedure.budget == graph.num_edges - 1
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(procedure, graph, start)
+            assert visited == set(range(graph.num_nodes))
+            assert moves == procedure.budget
+
+
+class TestHamiltonian:
+    def test_finds_cycles_where_they_exist(self):
+        for graph in (oriented_ring(7), complete_graph(5), hypercube(3), torus_grid(3, 4)):
+            cycle = find_hamiltonian_cycle(graph)
+            assert cycle is not None
+            assert len(cycle) == graph.num_nodes
+            assert sorted(cycle) == list(range(graph.num_nodes))
+            closed = cycle + [cycle[0]]
+            for u, v in zip(closed, closed[1:]):
+                assert v in set(graph.neighbors(u))
+
+    def test_none_for_graphs_without_cycles(self):
+        assert find_hamiltonian_cycle(path_graph(5)) is None
+        assert find_hamiltonian_cycle(star_graph(5)) is None
+        # The Petersen graph is the classic hypo-Hamiltonian example.
+        assert find_hamiltonian_cycle(petersen_graph()) is None
+
+    def test_exploration_budget_is_n_minus_one(self):
+        graph = hypercube(3)
+        procedure = HamiltonianExploration(graph)
+        assert procedure.budget == graph.num_nodes - 1
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(procedure, graph, start)
+            assert visited == set(range(graph.num_nodes))
+            assert moves == procedure.budget
+
+    def test_rejects_graph_without_cycle(self):
+        with pytest.raises(ValueError, match="Hamiltonian"):
+            HamiltonianExploration(star_graph(5))
+
+
+class TestRingExploration:
+    def test_explores_from_every_start(self):
+        ring = oriented_ring(9)
+        procedure = RingExploration(9)
+        assert procedure.budget == 8
+        for start in range(9):
+            visited, moves = measure_exploration(
+                procedure, ring, start, provide_map=False, provide_position=False
+            )
+            assert visited == set(range(9))
+            assert moves == 8
+
+    def test_rejects_non_ring_at_runtime(self):
+        procedure = RingExploration(5)
+        with pytest.raises(ValueError, match="non-ring"):
+            measure_exploration(procedure, star_graph(5), 0)
+
+    def test_budget_overrun_detected(self):
+        # A procedure lying about its budget must be caught by execute().
+        class Liar(RingExploration):
+            @property
+            def budget(self):
+                return 2  # claims 2 but walks ring_size - 1 = 8
+
+        with pytest.raises(ExplorationBudgetError):
+            measure_exploration(Liar(9), oriented_ring(9), 0)

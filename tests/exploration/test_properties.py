@@ -1,0 +1,80 @@
+"""Property-based tests of the exploration contract.
+
+The contract every procedure must honour (paper Section 1.2): from *every*
+starting node of its graph it visits *all* nodes using at most ``budget``
+moves, and its padded execution lasts exactly ``budget`` rounds.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exploration.base import measure_exploration
+from repro.exploration.dfs import KnownMapDFS
+from repro.exploration.try_all_dfs import TryAllDFS
+from repro.graphs.families import random_connected_graph, random_tree
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext
+
+
+@st.composite
+def graphs_with_start(draw, max_nodes=12):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    graph = random_connected_graph(n, extra, random.Random(seed))
+    start = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, start
+
+
+@given(graphs_with_start())
+@settings(max_examples=60, deadline=None)
+def test_known_map_dfs_contract(case):
+    graph, start = case
+    procedure = KnownMapDFS(graph)
+    visited, moves = measure_exploration(procedure, graph, start)
+    assert visited == set(range(graph.num_nodes))
+    assert moves <= procedure.budget
+
+
+@given(graphs_with_start(max_nodes=8))
+@settings(max_examples=25, deadline=None)
+def test_try_all_dfs_contract(case):
+    graph, start = case
+    procedure = TryAllDFS(graph)
+    visited, moves = measure_exploration(
+        procedure, graph, start, provide_position=False
+    )
+    assert visited == set(range(graph.num_nodes))
+    assert moves <= procedure.budget
+
+
+@given(st.integers(min_value=2, max_value=14), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_execute_lasts_exactly_budget_rounds(n, seed):
+    """The padded execution always takes exactly E rounds (the paper's
+    convention), regardless of how many moves the raw walk needed."""
+    graph = random_tree(n, random.Random(seed))
+    procedure = KnownMapDFS(graph)
+
+    position = 0
+    ctx = AgentContext(label=1, graph=graph, position_oracle=lambda: position)
+    obs = Observation(clock=0, degree=graph.degree(0), entry_port=None)
+    gen = procedure.execute(ctx, obs)
+
+    rounds = 0
+    entry = None
+    try:
+        action = next(gen)
+        while True:
+            rounds += 1
+            if action is not None:
+                position, entry = graph.neighbor_via(position, action)
+            obs = Observation(
+                clock=rounds, degree=graph.degree(position), entry_port=entry
+            )
+            action = gen.send(obs)
+    except StopIteration:
+        pass
+    assert rounds == procedure.budget

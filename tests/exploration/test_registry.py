@@ -1,0 +1,78 @@
+"""Tests for the knowledge-model decision table."""
+
+import random
+
+import pytest
+
+from repro.exploration.registry import KnowledgeModel, best_exploration
+from repro.graphs.families import (
+    complete_graph,
+    oriented_ring,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    torus_grid,
+)
+
+
+class TestMapWithPosition:
+    def test_oriented_ring_gets_ring_walk(self):
+        procedure = best_exploration(oriented_ring(10))
+        assert procedure.name == "ring-clockwise"
+        assert procedure.budget == 9
+
+    def test_hamiltonian_graph_gets_cycle_walk(self):
+        procedure = best_exploration(complete_graph(6))
+        assert procedure.name == "hamiltonian"
+        assert procedure.budget == 5
+
+    def test_tree_gets_dfs(self):
+        procedure = best_exploration(star_graph(8))
+        assert procedure.name == "dfs-open"
+        assert procedure.budget == 13
+
+    def test_hamiltonian_search_can_be_skipped(self):
+        procedure = best_exploration(complete_graph(6), try_hamiltonian=False)
+        # K6 is Eulerian (all degrees 5... odd) -> falls back to DFS.
+        assert procedure.name == "dfs-open"
+
+    def test_eulerian_beats_dfs_when_cheaper(self):
+        # A graph with an Eulerian circuit, no Hamiltonian cycle, and
+        # e - 1 < 2n - 3: two triangles sharing a node (bowtie).
+        import networkx as nx
+
+        from repro.graphs.conversion import from_networkx
+
+        bowtie, _ = from_networkx(
+            nx.Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        )
+        procedure = best_exploration(bowtie, try_hamiltonian=True)
+        assert procedure.name == "eulerian"
+        assert procedure.budget == 5  # e - 1 = 5 < 2n - 3 = 7
+
+
+class TestOtherKnowledgeModels:
+    def test_map_without_position_uses_try_all(self):
+        procedure = best_exploration(
+            petersen_graph(), KnowledgeModel.MAP_WITHOUT_POSITION
+        )
+        assert procedure.name == "try-all-dfs"
+
+    def test_map_without_position_on_oriented_ring(self):
+        # Orientation plus known size makes position knowledge irrelevant.
+        procedure = best_exploration(
+            oriented_ring(8), KnowledgeModel.MAP_WITHOUT_POSITION
+        )
+        assert procedure.name == "ring-clockwise"
+
+    def test_size_bound_only_uses_uxs(self):
+        procedure = best_exploration(
+            path_graph(4), KnowledgeModel.SIZE_BOUND_ONLY, rng=random.Random(0)
+        )
+        assert procedure.name == "uxs"
+
+    def test_budgets_ordered_by_knowledge(self):
+        graph = star_graph(6)
+        with_pos = best_exploration(graph, KnowledgeModel.MAP_WITH_POSITION)
+        without_pos = best_exploration(graph, KnowledgeModel.MAP_WITHOUT_POSITION)
+        assert with_pos.budget < without_pos.budget

@@ -1,0 +1,77 @@
+"""Tests for exploration with a map but no marked position."""
+
+import pytest
+
+from repro.exploration.base import measure_exploration
+from repro.exploration.try_all_dfs import TryAllDFS
+from repro.graphs.families import (
+    full_binary_tree,
+    lollipop,
+    path_graph,
+    star_graph,
+)
+
+
+class TestTryAllDFS:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), star_graph(7), full_binary_tree(2), lollipop(4, 3)],
+        ids=["path", "star", "tree", "lollipop"],
+    )
+    def test_visits_everything_without_position(self, graph):
+        procedure = TryAllDFS(graph)
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(
+                procedure, graph, start, provide_position=False
+            )
+            assert visited == set(range(graph.num_nodes))
+            assert moves <= procedure.budget
+
+    def test_budget_formula(self):
+        graph = star_graph(6)
+        assert TryAllDFS(graph).budget == 2 * 6 * (2 * 6 - 2)
+
+    def test_always_returns_to_start_between_attempts(self):
+        # On a path, run the procedure from an inner node and check via the
+        # simulator trace that the agent repeatedly returns home.
+        from repro.graphs.families import path_graph
+        from repro.sim.simulator import AgentSpec, Simulator
+
+        graph = path_graph(5)
+        procedure = TryAllDFS(graph)
+
+        def factory(ctx):
+            obs = yield
+            yield from procedure.execute(ctx, obs)
+
+        spec = AgentSpec(
+            label=1, start_node=2, factory=factory, provide_position=False
+        )
+        result = Simulator(graph).run([spec], max_rounds=procedure.budget)
+        positions = result.traces[0].positions
+        # The start position (node 2) recurs at least once per attempt.
+        assert positions.count(2) >= graph.num_nodes
+
+    def test_requires_map(self):
+        graph = path_graph(4)
+        procedure = TryAllDFS(graph)
+        with pytest.raises(ValueError, match="map"):
+            measure_exploration(
+                procedure, graph, 0, provide_map=False, provide_position=False
+            )
+
+    def test_too_small_graph_rejected(self):
+        from repro.graphs.port_graph import PortLabeledGraph
+
+        single_node = PortLabeledGraph([[]])
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            TryAllDFS(single_node)
+
+    def test_two_node_graph_is_fine(self):
+        graph = path_graph(2)
+        procedure = TryAllDFS(graph)
+        visited, moves = measure_exploration(
+            procedure, graph, 0, provide_position=False
+        )
+        assert visited == {0, 1}
+        assert moves <= procedure.budget

@@ -1,0 +1,118 @@
+"""Tests for universal exploration sequences."""
+
+import random
+
+import pytest
+
+from repro.exploration.base import measure_exploration
+from repro.exploration.uxs import (
+    UXSExploration,
+    build_verified_uxs,
+    is_uxs_for,
+    uxs_walk,
+)
+from repro.graphs.families import oriented_ring, path_graph, star_graph
+
+
+class TestWalkSemantics:
+    def test_offsets_are_relative_to_entry_port(self):
+        ring = oriented_ring(5)
+        # Entry convention 0; term 0 repeats the entry port.  On the
+        # oriented ring port 0 is clockwise, and arriving clockwise means
+        # entering via port 1, so term 0 then moves counterclockwise (back).
+        assert uxs_walk(ring, 0, [0]) == [0, 1]
+        assert uxs_walk(ring, 0, [0, 0]) == [0, 1, 0]
+        # Term 1 flips to the other port each time: keeps moving clockwise.
+        assert uxs_walk(ring, 0, [0, 1, 1, 1]) == [0, 1, 2, 3, 4]
+
+    def test_walk_length(self):
+        star = star_graph(5)
+        walk = uxs_walk(star, 2, [0, 1, 2, 3])
+        assert len(walk) == 5
+
+
+class TestVerifier:
+    def test_accepts_known_good_sequence(self):
+        ring = oriented_ring(4)
+        # Starting term 0 (stay on entry port semantics) then flipping: a
+        # long alternating sequence covers small rings from any start.
+        sequence = [0] + [1] * 6
+        assert is_uxs_for(sequence, [ring]) == (
+            all(
+                set(uxs_walk(ring, start, sequence)) == set(range(4))
+                for start in range(4)
+            )
+        )
+
+    def test_rejects_too_short_sequence(self):
+        assert not is_uxs_for([1], [oriented_ring(6)])
+
+    def test_multi_graph_verification(self):
+        graphs = [oriented_ring(4), path_graph(4)]
+        sequence = build_verified_uxs(graphs, rng=random.Random(11))
+        assert is_uxs_for(sequence, graphs)
+
+
+class TestBuilder:
+    def test_builds_for_small_corpus(self):
+        graphs = [star_graph(5), path_graph(5)]
+        sequence = build_verified_uxs(graphs, rng=random.Random(5))
+        assert is_uxs_for(sequence, graphs)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="at least one graph"):
+            build_verified_uxs([])
+
+    def test_deterministic_for_fixed_seed(self):
+        graphs = [path_graph(4)]
+        first = build_verified_uxs(graphs, rng=random.Random(9))
+        second = build_verified_uxs(graphs, rng=random.Random(9))
+        assert first == second
+
+    def test_max_length_bound_respected(self):
+        with pytest.raises(RuntimeError, match="no verified UXS"):
+            build_verified_uxs(
+                [star_graph(9)], rng=random.Random(0), initial_length=1, max_length=2
+            )
+
+
+class TestUXSExploration:
+    def test_explores_without_any_knowledge(self):
+        graph = star_graph(6)
+        sequence = build_verified_uxs([graph], rng=random.Random(2))
+        procedure = UXSExploration(sequence)
+        assert procedure.budget == len(sequence)
+        for start in range(graph.num_nodes):
+            visited, moves = measure_exploration(
+                procedure, graph, start, provide_map=False, provide_position=False
+            )
+            assert visited == set(range(graph.num_nodes))
+            assert moves <= procedure.budget
+
+    def test_mid_algorithm_start_uses_virtual_entry_port(self):
+        # Running the UXS twice back-to-back must explore both times; the
+        # second run starts with a real entry port that must be ignored.
+        graph = star_graph(5)
+        sequence = build_verified_uxs([graph], rng=random.Random(4))
+        procedure = UXSExploration(sequence)
+
+        class Doubled(UXSExploration):
+            @property
+            def budget(self):
+                return 2 * len(self.sequence)
+
+            def moves(self, ctx, obs):
+                obs = yield from UXSExploration.moves(self, ctx, obs)
+                obs = yield from UXSExploration.moves(self, ctx, obs)
+                return obs
+
+        doubled = Doubled(sequence)
+        for start in range(graph.num_nodes):
+            visited, _ = measure_exploration(
+                doubled, graph, start, provide_map=False, provide_position=False
+            )
+            assert visited == set(range(graph.num_nodes))
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            UXSExploration([])

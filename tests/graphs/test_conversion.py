@@ -1,0 +1,70 @@
+"""Tests for the networkx bridge."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.conversion import from_networkx, to_networkx
+from repro.graphs.families import petersen_graph
+from repro.graphs.validation import check_port_graph
+
+
+class TestFromNetworkx:
+    def test_cycle_graph(self):
+        converted, index = from_networkx(nx.cycle_graph(6))
+        assert converted.num_nodes == 6
+        assert converted.num_edges == 6
+        assert sorted(index.values()) == list(range(6))
+        check_port_graph(converted)
+
+    def test_arbitrary_node_labels(self):
+        graph = nx.Graph([("a", "b"), ("b", "c"), ("c", "a")])
+        converted, index = from_networkx(graph)
+        assert set(index) == {"a", "b", "c"}
+        assert converted.num_edges == 3
+
+    def test_random_port_assignment_still_valid(self):
+        converted, _ = from_networkx(nx.petersen_graph(), rng=random.Random(3))
+        check_port_graph(converted)
+        assert converted.num_edges == 15
+
+    def test_deterministic_without_rng(self):
+        first, _ = from_networkx(nx.path_graph(5))
+        second, _ = from_networkx(nx.path_graph(5))
+        assert first == second
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError, match="undirected"):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(ValueError, match="multigraph"):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_self_loop_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(ValueError, match="self-loop"):
+            from_networkx(graph)
+
+
+class TestToNetworkx:
+    def test_round_trip_preserves_structure(self):
+        original = petersen_graph()
+        round_tripped = to_networkx(original)
+        assert round_tripped.number_of_nodes() == 10
+        assert round_tripped.number_of_edges() == 15
+        assert nx.is_connected(round_tripped)
+
+    def test_port_attributes_present(self):
+        exported = to_networkx(petersen_graph())
+        for u, v, data in exported.edges(data=True):
+            ports = data["ports"]
+            assert set(ports) == {u, v}
+
+    def test_round_trip_isomorphic(self):
+        original = nx.random_regular_graph(3, 8, seed=5)
+        converted, _ = from_networkx(original)
+        back = to_networkx(converted)
+        assert nx.is_isomorphic(original, back)

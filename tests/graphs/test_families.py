@@ -1,0 +1,184 @@
+"""Tests for every built-in graph family constructor."""
+
+import random
+
+import pytest
+
+from repro.graphs.families import (
+    complete_graph,
+    full_binary_tree,
+    hypercube,
+    lollipop,
+    oriented_ring,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    random_tree,
+    ring_with_random_ports,
+    star_graph,
+    standard_test_suite,
+    torus_grid,
+)
+from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE
+from repro.graphs.validation import check_port_graph, is_oriented_ring
+
+
+class TestOrientedRing:
+    def test_structure(self):
+        ring = oriented_ring(7)
+        assert ring.num_nodes == 7
+        assert ring.num_edges == 7
+        assert is_oriented_ring(ring)
+
+    def test_ports_are_consistent(self):
+        ring = oriented_ring(5)
+        for u in range(5):
+            succ, entry = ring.neighbor_via(u, CLOCKWISE)
+            assert succ == (u + 1) % 5
+            assert entry == COUNTERCLOCKWISE
+            pred, entry = ring.neighbor_via(u, COUNTERCLOCKWISE)
+            assert pred == (u - 1) % 5
+            assert entry == CLOCKWISE
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            oriented_ring(2)
+
+
+class TestRandomPortRing:
+    def test_is_a_ring_but_not_oriented_usually(self):
+        rng = random.Random(7)
+        found_unoriented = False
+        for _ in range(10):
+            ring = ring_with_random_ports(9, rng)
+            check_port_graph(ring)
+            assert ring.num_edges == 9
+            assert all(ring.degree(u) == 2 for u in range(9))
+            found_unoriented = found_unoriented or not is_oriented_ring(ring)
+        assert found_unoriented
+
+
+class TestPathAndStar:
+    def test_path_endpoints_have_degree_one(self):
+        path = path_graph(6)
+        assert path.degree(0) == 1
+        assert path.degree(5) == 1
+        assert all(path.degree(u) == 2 for u in range(1, 5))
+
+    def test_path_minimum_size(self):
+        with pytest.raises(ValueError):
+            path_graph(1)
+
+    def test_star_center_and_leaves(self):
+        star = star_graph(8)
+        assert star.degree(0) == 7
+        assert all(star.degree(leaf) == 1 for leaf in range(1, 8))
+        assert star.num_edges == 7
+
+
+class TestCompleteGraph:
+    def test_degrees_and_edge_count(self):
+        graph = complete_graph(7)
+        assert all(graph.degree(u) == 6 for u in range(7))
+        assert graph.num_edges == 21
+
+    def test_port_formula(self):
+        graph = complete_graph(5)
+        for u in range(5):
+            for v in range(5):
+                if u == v:
+                    continue
+                expected_port = v if v < u else v - 1
+                assert graph.neighbor_via(u, expected_port)[0] == v
+
+
+class TestTrees:
+    def test_full_binary_tree_size(self):
+        tree = full_binary_tree(3)
+        assert tree.num_nodes == 15
+        assert tree.num_edges == 14
+        assert tree.degree(0) == 2  # root has two children
+        # Leaves (nodes 7..14) have degree 1.
+        assert all(tree.degree(leaf) == 1 for leaf in range(7, 15))
+
+    def test_random_tree_is_a_tree(self, rng):
+        for n in (2, 5, 12):
+            tree = random_tree(n, rng)
+            assert tree.num_edges == n - 1
+            assert tree.is_connected()
+
+
+class TestHypercube:
+    def test_dimension_three(self):
+        cube = hypercube(3)
+        assert cube.num_nodes == 8
+        assert cube.num_edges == 12
+        for u in range(8):
+            for bit in range(3):
+                v, entry = cube.neighbor_via(u, bit)
+                assert v == u ^ (1 << bit)
+                assert entry == bit  # symmetric port labels
+
+
+class TestTorus:
+    def test_dimensions(self):
+        torus = torus_grid(3, 5)
+        assert torus.num_nodes == 15
+        assert torus.num_edges == 30
+        assert all(torus.degree(u) == 4 for u in range(15))
+
+    def test_small_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            torus_grid(2, 5)
+
+    def test_east_west_inverse(self):
+        torus = torus_grid(3, 4)
+        for u in range(12):
+            east, _ = torus.neighbor_via(u, 0)
+            west, _ = torus.neighbor_via(east, 1)
+            assert west == u
+
+
+class TestLollipopAndPetersen:
+    def test_lollipop_structure(self):
+        graph = lollipop(5, 3)
+        assert graph.num_nodes == 8
+        # Junction has clique degree 4 plus the tail edge.
+        assert graph.degree(4) == 5
+        assert graph.degree(7) == 1  # tail end
+        assert graph.is_connected()
+
+    def test_petersen_is_three_regular(self):
+        graph = petersen_graph()
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 15
+        assert all(graph.degree(u) == 3 for u in range(10))
+        check_port_graph(graph)
+
+
+class TestRandomConnected:
+    def test_edge_count_and_connectivity(self, rng):
+        graph = random_connected_graph(10, 5, rng)
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 14  # 9 tree edges + 5 chords
+        assert graph.is_connected()
+
+    def test_extra_edges_clamped_to_available(self, rng):
+        graph = random_connected_graph(4, 100, rng)
+        assert graph.num_edges == 6  # complete graph on 4 nodes
+
+
+class TestStandardSuite:
+    def test_all_entries_valid_and_connected(self):
+        suite = standard_test_suite()
+        assert len(suite) >= 10
+        for name, graph in suite:
+            check_port_graph(graph)
+            assert graph.is_connected(), name
+
+    def test_deterministic_given_same_seed(self):
+        first = standard_test_suite(random.Random(1))
+        second = standard_test_suite(random.Random(1))
+        for (name_a, graph_a), (name_b, graph_b) in zip(first, second):
+            assert name_a == name_b
+            assert graph_a == graph_b

@@ -1,0 +1,93 @@
+"""Tests for circulant and complete bipartite graph families."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.families import circulant_graph, complete_bipartite
+from repro.graphs.validation import check_port_graph
+
+
+class TestCirculant:
+    def test_basic_structure(self):
+        graph = circulant_graph(8, [1, 3])
+        check_port_graph(graph)
+        assert graph.num_nodes == 8
+        assert graph.num_edges == 16
+        assert all(graph.degree(u) == 4 for u in range(8))
+
+    def test_single_offset_is_a_ring(self):
+        graph = circulant_graph(7, [1])
+        assert all(graph.degree(u) == 2 for u in range(7))
+        # Port 0 = +1 step: walking it n times returns home.
+        node = 0
+        for _ in range(7):
+            node, _ = graph.neighbor_via(node, 0)
+        assert node == 0
+
+    def test_vertex_transitive_port_structure(self):
+        """The port assignment is identical at every node: port 2i leads
+        +s_i, port 2i+1 leads -s_i -- the property that justifies fixing
+        the first agent's start in sweeps."""
+        graph = circulant_graph(10, [2, 3])
+        for u in range(10):
+            assert graph.neighbor_via(u, 0)[0] == (u + 2) % 10
+            assert graph.neighbor_via(u, 1)[0] == (u - 2) % 10
+            assert graph.neighbor_via(u, 2)[0] == (u + 3) % 10
+            assert graph.neighbor_via(u, 3)[0] == (u - 3) % 10
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            circulant_graph(8, [1, 1])
+        with pytest.raises(ValueError, match="outside"):
+            circulant_graph(8, [4])  # n/2 self-pairs on even n
+        with pytest.raises(ValueError, match="outside"):
+            circulant_graph(8, [0])
+
+    def test_rendezvous_works_on_circulants(self):
+        from repro.core import Fast
+        from repro.exploration import best_exploration
+        from repro.sim import simulate_rendezvous
+
+        graph = circulant_graph(9, [1, 2])
+        algorithm = Fast(best_exploration(graph), 4)
+        for a, b in itertools.permutations(range(1, 5), 2):
+            result = simulate_rendezvous(graph, algorithm, labels=(a, b), starts=(0, 4))
+            assert result.met
+            assert result.time <= algorithm.time_bound()
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        graph = complete_bipartite(3, 4)
+        check_port_graph(graph)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 12
+        assert all(graph.degree(u) == 4 for u in range(3))
+        assert all(graph.degree(v) == 3 for v in range(3, 7))
+
+    def test_no_edges_within_sides(self):
+        graph = complete_bipartite(3, 3)
+        for u in range(3):
+            assert all(v >= 3 for v in graph.neighbors(u))
+        for v in range(3, 6):
+            assert all(u < 3 for u in graph.neighbors(v))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            complete_bipartite(0, 3)
+
+    def test_rendezvous_crossing_rich_topology(self):
+        """Bipartite graphs are the classical crossing trap for random
+        walks; the deterministic algorithms are immune."""
+        from repro.core import Cheap
+        from repro.exploration import best_exploration
+        from repro.sim import simulate_rendezvous
+
+        graph = complete_bipartite(3, 3)  # K_{3,3} is Hamiltonian
+        algorithm = Cheap(best_exploration(graph), 4)
+        result = simulate_rendezvous(
+            graph, algorithm, labels=(2, 3), starts=(0, 3), delay=4
+        )
+        assert result.met
+        assert result.cost <= algorithm.cost_bound()

@@ -1,0 +1,124 @@
+"""Unit tests for the core port-labeled graph structure."""
+
+import pytest
+
+from repro.graphs.port_graph import PortEdge, PortLabeledGraph
+
+
+def two_path():
+    """The 2-node path: one edge, port 0 at both ends."""
+    return PortLabeledGraph.from_edges(2, [PortEdge(0, 0, 1, 0)])
+
+
+def triangle():
+    return PortLabeledGraph.from_edges(
+        3,
+        [
+            PortEdge(0, 0, 1, 0),
+            PortEdge(1, 1, 2, 0),
+            PortEdge(2, 1, 0, 1),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_two_node_path(self):
+        graph = two_path()
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 1
+        assert graph.neighbor_via(0, 0) == (1, 0)
+
+    def test_triangle_structure(self):
+        graph = triangle()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert all(graph.degree(u) == 2 for u in range(3))
+
+    def test_duplicate_port_rejected(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            PortLabeledGraph.from_edges(
+                3, [PortEdge(0, 0, 1, 0), PortEdge(0, 0, 2, 0)]
+            )
+
+    def test_non_contiguous_ports_rejected(self):
+        with pytest.raises(ValueError, match="expected 0..1"):
+            PortLabeledGraph.from_edges(
+                3, [PortEdge(0, 0, 1, 0), PortEdge(0, 2, 2, 0), PortEdge(1, 1, 2, 1)]
+            )
+
+    def test_dangling_node_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            PortLabeledGraph.from_edges(2, [PortEdge(0, 0, 5, 0)])
+
+    def test_asymmetric_adjacency_rejected(self):
+        # adj[0][0] says (1, 0) but adj[1][0] points back to the wrong port.
+        with pytest.raises(ValueError, match="symmetry"):
+            PortLabeledGraph([[(1, 0)], [(0, 1)], []])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PortLabeledGraph([[(0, 1), (0, 0)]])
+
+
+class TestQueries:
+    def test_neighbor_via_invalid_port(self):
+        with pytest.raises(ValueError, match="degree"):
+            two_path().neighbor_via(0, 1)
+
+    def test_port_to(self):
+        graph = triangle()
+        for u in range(3):
+            for port in range(graph.degree(u)):
+                v, _ = graph.neighbor_via(u, port)
+                assert graph.neighbor_via(u, graph.port_to(u, v))[0] == v
+
+    def test_port_to_non_adjacent(self):
+        graph = PortLabeledGraph.from_edges(
+            3, [PortEdge(0, 0, 1, 0), PortEdge(1, 1, 2, 0)]
+        )
+        with pytest.raises(ValueError, match="not adjacent"):
+            graph.port_to(0, 2)
+
+    def test_neighbors_in_port_order(self):
+        graph = triangle()
+        assert list(graph.neighbors(0)) == [1, 2]
+
+    def test_edges_iterates_each_edge_once(self):
+        graph = triangle()
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        seen = {frozenset((e.u, e.v)) for e in edges}
+        assert len(seen) == 3
+
+    def test_max_degree(self):
+        assert triangle().max_degree() == 2
+
+    def test_is_connected(self):
+        assert triangle().is_connected()
+        disconnected = PortLabeledGraph.from_edges(
+            4, [PortEdge(0, 0, 1, 0), PortEdge(2, 0, 3, 0)]
+        )
+        assert not disconnected.is_connected()
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert two_path() == two_path()
+        assert hash(two_path()) == hash(two_path())
+        assert two_path() != triangle()
+
+    def test_equality_with_other_type(self):
+        assert two_path() != "not a graph"
+
+    def test_repr(self):
+        assert repr(triangle()) == "PortLabeledGraph(n=3, e=3)"
+
+    def test_adjacency_is_immutable_tuple(self):
+        adj = triangle().adjacency()
+        assert isinstance(adj, tuple)
+        assert isinstance(adj[0], tuple)
+
+    def test_port_edge_reversed(self):
+        edge = PortEdge(1, 2, 3, 4)
+        assert edge.reversed() == PortEdge(3, 4, 1, 2)

@@ -1,0 +1,68 @@
+"""Property-based tests on the graph substrate (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.families import (
+    oriented_ring,
+    random_connected_graph,
+    random_tree,
+    ring_with_random_ports,
+)
+from repro.graphs.conversion import from_networkx, to_networkx
+from repro.graphs.validation import check_port_graph
+
+
+@st.composite
+def random_graphs(draw):
+    """A random connected port-labeled graph (tree plus chords)."""
+    n = draw(st.integers(min_value=2, max_value=16))
+    extra = draw(st.integers(min_value=0, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return random_connected_graph(n, extra, random.Random(seed))
+
+
+@given(random_graphs())
+@settings(max_examples=60)
+def test_random_graphs_satisfy_all_invariants(graph):
+    check_port_graph(graph)
+    # Handshake: port slots sum to twice the edge count.
+    assert sum(graph.degree(u) for u in range(graph.num_nodes)) == 2 * graph.num_edges
+
+
+@given(random_graphs())
+@settings(max_examples=30)
+def test_networkx_round_trip_preserves_adjacency(graph):
+    back, _ = from_networkx(to_networkx(graph))
+    # Port assignments may differ, but the adjacency relation must agree.
+    original = {frozenset((e.u, e.v)) for e in graph.edges()}
+    restored = {frozenset((e.u, e.v)) for e in back.edges()}
+    assert original == restored
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_random_trees_have_tree_shape(n, seed):
+    tree = random_tree(n, random.Random(seed))
+    assert tree.num_edges == n - 1
+    assert tree.is_connected()
+
+
+@given(st.integers(min_value=3, max_value=40), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_random_port_rings_are_valid_rings(n, seed):
+    ring = ring_with_random_ports(n, random.Random(seed))
+    check_port_graph(ring)
+    assert all(ring.degree(u) == 2 for u in range(n))
+    assert ring.num_edges == n
+
+
+@given(st.integers(min_value=3, max_value=60))
+def test_oriented_rings_traverse_fully_clockwise(n):
+    ring = oriented_ring(n)
+    node = 0
+    for _ in range(n):
+        node, _ = ring.neighbor_via(node, 0)
+    assert node == 0  # n clockwise steps return to the start

@@ -1,0 +1,54 @@
+"""Tests for structural validation helpers."""
+
+import pytest
+
+from repro.graphs.families import oriented_ring, path_graph, star_graph
+from repro.graphs.port_graph import PortEdge, PortLabeledGraph
+from repro.graphs.validation import (
+    GraphValidationError,
+    check_port_graph,
+    is_oriented_ring,
+    require_oriented_ring,
+)
+
+
+class TestCheckPortGraph:
+    def test_valid_graph_passes(self):
+        check_port_graph(oriented_ring(6))
+
+    def test_disconnected_rejected(self):
+        graph = PortLabeledGraph.from_edges(
+            4, [PortEdge(0, 0, 1, 0), PortEdge(2, 0, 3, 0)]
+        )
+        with pytest.raises(GraphValidationError, match="not connected"):
+            check_port_graph(graph)
+
+    def test_disconnected_allowed_when_requested(self):
+        graph = PortLabeledGraph.from_edges(
+            4, [PortEdge(0, 0, 1, 0), PortEdge(2, 0, 3, 0)]
+        )
+        check_port_graph(graph, require_connected=False)
+
+
+class TestOrientedRingPredicate:
+    def test_recognises_oriented_rings(self):
+        for n in (3, 6, 11):
+            assert is_oriented_ring(oriented_ring(n))
+
+    def test_rejects_non_rings(self):
+        assert not is_oriented_ring(star_graph(5))
+        assert not is_oriented_ring(path_graph(5))
+
+    def test_rejects_reversed_orientation(self):
+        # A ring where port 0 goes counterclockwise relative to node order.
+        n = 5
+        edges = [PortEdge(u, 1, (u + 1) % n, 0) for u in range(n)]
+        reversed_ring = PortLabeledGraph.from_edges(n, edges)
+        assert not is_oriented_ring(reversed_ring)
+
+    def test_require_returns_size(self):
+        assert require_oriented_ring(oriented_ring(9)) == 9
+
+    def test_require_raises_with_hint(self):
+        with pytest.raises(GraphValidationError, match="oriented ring"):
+            require_oriented_ring(star_graph(4))

@@ -1,0 +1,97 @@
+"""Tests for blocks, sectors and aggregate behaviour vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lower_bounds.aggregate import (
+    aggregate_vector,
+    block_length,
+    check_fact_39,
+    num_blocks,
+    surplus,
+)
+
+behaviour_vectors = st.lists(st.sampled_from([-1, 0, 1]), max_size=80)
+
+
+class TestBlockArithmetic:
+    def test_block_length(self):
+        assert block_length(12) == 2
+        assert block_length(18) == 3
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError, match="divisible by 6"):
+            block_length(10)
+
+    def test_num_blocks(self):
+        assert num_blocks(0, 12) == 1
+        assert num_blocks(1, 12) == 1
+        assert num_blocks(2, 12) == 1
+        assert num_blocks(3, 12) == 2
+        assert num_blocks(13, 12) == 7
+
+
+class TestAggregateVector:
+    def test_pure_clockwise_walk(self):
+        # n = 12, block = 2 rounds, sector = 2 nodes: two clockwise steps
+        # per block move the agent exactly one sector per block.
+        vector = [1] * 10
+        assert aggregate_vector(vector, 12) == [1, 1, 1, 1, 1]
+
+    def test_idle_vector(self):
+        assert aggregate_vector([0] * 7, 12) == [0, 0, 0, 0]
+
+    def test_oscillation_aggregates_to_zero(self):
+        # One step out and back per block: never leaves the start sector.
+        vector = [1, -1] * 5
+        assert aggregate_vector(vector, 12) == [0] * 5
+
+    def test_start_offset_within_sector_matters_for_boundary(self):
+        # From the sector edge a single +1 crosses into the next sector.
+        assert aggregate_vector([1, 0], 12, start=1) == [1]
+        assert aggregate_vector([1, 0], 12, start=0) == [0]
+
+    def test_fact_310_same_residue_same_aggregate(self):
+        """Agents starting at positions congruent mod n/6 have identical
+        aggregate vectors (Fact 3.10)."""
+        vector = [1, 1, -1, 0, 1, 1, 0, -1, 1, 1]
+        n = 12
+        for start in range(0, n, block_length(n)):
+            assert aggregate_vector(vector, n, start=start) == aggregate_vector(
+                vector, n, start=0
+            )
+
+    def test_explicit_block_count_pads(self):
+        assert aggregate_vector([1, 1], 12, blocks=4) == [1, 0, 0, 0]
+
+    @given(behaviour_vectors, st.integers(min_value=0, max_value=11))
+    @settings(max_examples=80)
+    def test_entries_always_in_range(self, vector, start):
+        aggregate = aggregate_vector(vector, 12, start=start)
+        assert all(entry in (-1, 0, 1) for entry in aggregate)
+
+    @given(behaviour_vectors, st.integers(min_value=0, max_value=11))
+    @settings(max_examples=80)
+    def test_aggregate_surplus_tracks_displacement(self, vector, start):
+        """Summing the aggregate vector recovers the total sector drift:
+        it can differ from the exact displacement by at most one sector."""
+        n = 12
+        size = block_length(n)
+        aggregate = aggregate_vector(vector, n, start=start)
+        final_unwrapped = start + sum(vector)
+        exact_sector_drift = final_unwrapped // size - start // size
+        assert surplus(aggregate) == exact_sector_drift
+
+
+class TestFact39:
+    @given(behaviour_vectors)
+    @settings(max_examples=80)
+    def test_holds_for_all_behaviour_vectors(self, vector):
+        """Fact 3.9 is a theorem about *any* agent movement: a block is too
+        short to traverse more than one sector boundary zone."""
+        assert check_fact_39(vector, 12)
+
+    def test_detects_invalid_vectors(self):
+        # Entries outside {-1, 0, 1} (two sectors per block) violate it.
+        assert not check_fact_39([2, 2], 12)

@@ -1,0 +1,129 @@
+"""End-to-end tests for the Theorem 3.1 / 3.2 certificates."""
+
+import pytest
+
+from repro.core.cheap import CheapSimultaneous
+from repro.core.fast import FastSimultaneous
+from repro.core.fast_relabel import FastWithRelabelingSimultaneous
+from repro.exploration.ring import RingExploration
+from repro.lower_bounds.certificates import (
+    certify_theorem_31,
+    certify_theorem_32,
+)
+from repro.lower_bounds.trim import trimmed_from_algorithm
+
+
+def trimmed(algorithm_cls, ring_size, label_space, **kwargs):
+    algorithm = algorithm_cls(RingExploration(ring_size), label_space, **kwargs)
+    return trimmed_from_algorithm(algorithm, ring_size)
+
+
+class TestTheorem31OnCheap:
+    """Cheap (simultaneous) has cost exactly E: the theorem's hypothesis
+    holds with phi = 0 and every fact must check out."""
+
+    @pytest.fixture(scope="class")
+    def certificate(self):
+        return certify_theorem_31(trimmed(CheapSimultaneous, 12, 8))
+
+    def test_slack_is_zero(self, certificate):
+        assert certificate.slack == 0
+
+    def test_all_facts_hold(self, certificate):
+        assert certificate.fact_33_holds
+        assert certificate.fact_35_holds
+        assert certificate.fact_37_holds
+        assert certificate.fact_38_holds
+        assert certificate.all_facts_hold
+
+    def test_chain_realises_linear_growth(self, certificate):
+        """|alpha_i| grows by at least (F - 3 phi)/2 = 3 per link: the
+        Omega(EL) mechanism, observable in the data."""
+        times = certificate.chain_times
+        assert len(times) == 7  # all 8 labels are clockwise-heavy
+        growth = [later - earlier for earlier, later in zip(times, times[1:])]
+        assert min(growth) >= (certificate.gap - 0) / 2
+        assert certificate.realized_final_time >= certificate.predicted_time_lower
+
+    def test_back_values_are_zero(self, certificate):
+        """Cheap never walks counterclockwise."""
+        assert all(back == 0 for back in certificate.back_values.values())
+
+    def test_summary_renders(self, certificate):
+        text = "\n".join(certificate.summary_lines())
+        assert "Fact 3.3" in text and "ok" in text
+
+
+class TestTheorem31OnFast:
+    """Fast violates the hypothesis (cost Theta(E log L), not E + o(E));
+    the certificate must report a large slack and a broken chain."""
+
+    @pytest.fixture(scope="class")
+    def certificate(self):
+        return certify_theorem_31(trimmed(FastSimultaneous, 12, 8))
+
+    def test_slack_is_large(self, certificate):
+        assert certificate.slack > certificate.exploration_budget
+
+    def test_some_fact_fails(self, certificate):
+        assert not certificate.all_facts_hold
+
+
+class TestTheorem32OnFast:
+    """Fast has time O(E log L): the Theorem 3.2 machinery must validate
+    every fact and certify cost Omega from the progress weights."""
+
+    @pytest.fixture(scope="class")
+    def certificate(self):
+        return certify_theorem_32(trimmed(FastSimultaneous, 12, 8))
+
+    def test_all_facts_hold(self, certificate):
+        assert certificate.fact_39_holds
+        assert certificate.invariants_hold
+        assert certificate.distinct_within_classes
+        assert certificate.fact_317_holds
+        assert certificate.all_facts_hold
+
+    def test_progress_weights_imply_cost_bound(self, certificate):
+        assert certificate.implied_cost_lower > 0
+        assert certificate.measured_max_cost >= certificate.implied_cost_lower
+
+    def test_progress_weight_grows_with_label_space(self):
+        small = certify_theorem_32(trimmed(FastSimultaneous, 12, 4))
+        large = certify_theorem_32(trimmed(FastSimultaneous, 12, 16))
+        assert large.max_weight > small.max_weight
+
+    def test_summary_renders(self, certificate):
+        text = "\n".join(certificate.summary_lines())
+        assert "Fact 3.17" in text
+
+
+class TestTheorem32OnOtherAlgorithms:
+    def test_cheap_also_passes_the_machinery(self):
+        """The facts of Theorem 3.2 are structural: they hold for any
+        correct algorithm, including Cheap."""
+        certificate = certify_theorem_32(trimmed(CheapSimultaneous, 12, 6))
+        assert certificate.all_facts_hold
+
+    def test_relabeled_fast_passes(self):
+        certificate = certify_theorem_32(
+            trimmed(FastWithRelabelingSimultaneous, 12, 6, weight=2)
+        )
+        assert certificate.all_facts_hold
+
+    def test_ring_size_must_be_divisible_by_six(self):
+        with pytest.raises(ValueError, match="divisible by 6"):
+            certify_theorem_32(trimmed(CheapSimultaneous, 10, 4))
+
+
+class TestCertificatesAcrossRingSizes:
+    @pytest.mark.parametrize("ring_size", [12, 18, 24])
+    def test_theorem31_cheap_scales(self, ring_size):
+        certificate = certify_theorem_31(trimmed(CheapSimultaneous, ring_size, 6))
+        assert certificate.all_facts_hold
+        assert certificate.slack == 0
+
+    @pytest.mark.parametrize("ring_size", [12, 18])
+    def test_theorem32_fast_scales(self, ring_size):
+        certificate = certify_theorem_32(trimmed(FastSimultaneous, ring_size, 8))
+        assert certificate.all_facts_hold

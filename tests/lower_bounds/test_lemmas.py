@@ -1,0 +1,80 @@
+"""Property-based tests of the executable lemmas (Facts 3.1/3.2/3.4/3.6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lower_bounds.behaviour import forward_and_back
+from repro.lower_bounds.lemmas import (
+    fact_31_disjoint_placement,
+    fact_32_cost_lower_bound,
+    fact_34_holds,
+    fact_36_bound,
+    segments_are_disjoint,
+)
+from repro.lower_bounds.ring_exec import meeting_round, solo_cost
+
+vectors = st.lists(st.sampled_from([-1, 0, 1]), max_size=50)
+
+RING = 24  # E = 23
+
+
+class TestFact31:
+    @given(vectors, vectors)
+    @settings(max_examples=150)
+    def test_placement_separates_small_segments(self, vec_a, vec_b):
+        """When |seg(A)| + |seg(B)| < E, the constructed placement keeps
+        the walks disjoint -- hence they provably never meet."""
+        fwd_a, back_a = forward_and_back(vec_a)
+        fwd_b, back_b = forward_and_back(vec_b)
+        if (fwd_a + back_a) + (fwd_b + back_b) >= RING - 1:
+            return  # hypothesis of the fact not satisfied
+        start_b = fact_31_disjoint_placement(vec_a, vec_b, RING)
+        assert segments_are_disjoint(vec_a, 0, vec_b, start_b, RING)
+        assert meeting_round(vec_a, 0, vec_b, start_b, RING) is None
+
+
+class TestFact32:
+    @given(vectors)
+    @settings(max_examples=200)
+    def test_cost_lower_bound(self, vector):
+        """Visiting +forward and -back costs at least 2min + max steps."""
+        assert solo_cost(vector) >= fact_32_cost_lower_bound(vector)
+
+    def test_tightness(self):
+        # Walk forward 3, then back 3+2: exactly 2*2 + 3... the bound is
+        # met with equality by the one-turn walk.
+        vector = [1, 1, 1] + [-1] * 5
+        assert solo_cost(vector) == 8
+        assert fact_32_cost_lower_bound(vector) == 2 * 2 + 3  # = 7 <= 8
+
+
+class TestFact34:
+    @given(vectors)
+    @settings(max_examples=200)
+    def test_always_holds(self, vector):
+        assert fact_34_holds(vector)
+
+
+class TestFact36:
+    def test_on_cheap_chain_pairs(self):
+        """The chain of the Theorem 3.1 certificate: Fact 3.6 holds for
+        each consecutive pair of Cheap's trimmed vectors."""
+        from repro.core.cheap import CheapSimultaneous
+        from repro.exploration.ring import RingExploration
+        from repro.lower_bounds.tournament import gap_f
+        from repro.lower_bounds.trim import trimmed_from_algorithm
+
+        n = 12
+        trimmed = trimmed_from_algorithm(
+            CheapSimultaneous(RingExploration(n), 6), n
+        )
+        gap = gap_f(n)
+        labels = trimmed.labels
+        for small, large in zip(labels, labels[1:]):
+            assert fact_36_bound(
+                list(trimmed.vector(small)),
+                list(trimmed.vector(large)),
+                n,
+                gap,
+                slack=0,
+            )

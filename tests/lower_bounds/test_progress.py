@@ -1,0 +1,118 @@
+"""Tests for DefineProgress (Algorithm 3) and its invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import fact317_cost_lower
+from repro.lower_bounds.aggregate import aggregate_vector
+from repro.lower_bounds.progress import (
+    define_progress,
+    progress_pairs,
+    progress_weight,
+    verify_progress_invariants,
+)
+from repro.lower_bounds.ring_exec import solo_cost
+
+aggregate_vectors = st.lists(st.sampled_from([-1, 0, 1]), max_size=60)
+
+
+class TestDefineProgressExamples:
+    def test_no_progress_for_small_oscillation(self):
+        # Prefix surpluses never reach absolute value 2.
+        assert define_progress([1, -1, 1, -1, 0]) == [0] * 5
+
+    def test_simple_clockwise_progress(self):
+        # Two +1 entries immediately produce a preserved pair.
+        assert define_progress([1, 1]) == [1, 1]
+
+    def test_entries_between_pair_zeroed(self):
+        # +1, oscillation, +1: the pair brackets the oscillation.
+        aggregate = [1, 0, -1, 1, 0, 1]
+        progress = define_progress(aggregate)
+        # Surplus reaches 2 at the last index; the paper's `a` is the last
+        # index from which the surplus stays >= 1 (index 3).
+        assert progress == [0, 0, 0, 1, 0, 1]
+
+    def test_counterclockwise_progress(self):
+        assert define_progress([-1, -1]) == [-1, -1]
+
+    def test_multiple_rounds_of_progress(self):
+        aggregate = [1, 1, 1, 1]
+        progress = define_progress(aggregate)
+        # First pair consumes indices 0-1, the second 2-3.
+        assert progress == [1, 1, 1, 1]
+        assert progress_pairs(progress) == [(0, 1), (2, 3)]
+
+    def test_direction_switch(self):
+        aggregate = [1, 1, -1, -1, -1]
+        progress = define_progress(aggregate)
+        assert progress[:2] == [1, 1]
+        assert progress_weight(progress) == 2
+        pairs = progress_pairs(progress)
+        assert progress[pairs[1][0]] == -1
+
+    def test_empty_vector(self):
+        assert define_progress([]) == []
+
+
+class TestInvariants:
+    @given(aggregate_vectors)
+    @settings(max_examples=200)
+    def test_facts_312_313_314_always_hold(self, aggregate):
+        """The paper proves Facts 3.12-3.14 for every aggregate vector; the
+        implementation must satisfy them on arbitrary inputs."""
+        progress = define_progress(aggregate)
+        assert verify_progress_invariants(aggregate, progress) == []
+
+    @given(aggregate_vectors)
+    @settings(max_examples=100)
+    def test_progress_never_exceeds_aggregate_weight(self, aggregate):
+        progress = define_progress(aggregate)
+        nonzero_progress = sum(1 for value in progress if value != 0)
+        nonzero_aggregate = sum(1 for value in aggregate if value != 0)
+        assert nonzero_progress <= nonzero_aggregate
+
+    def test_verify_reports_violations(self):
+        # Hand-crafted wrong progress vector: unpaired entry.
+        violations = verify_progress_invariants([1, 1], [1, 0])
+        assert violations
+        # Wrong pairing values.
+        violations = verify_progress_invariants([1, 1], [1, -1])
+        assert violations
+
+
+class TestFact317:
+    @given(
+        st.lists(st.sampled_from([-1, 0, 1]), max_size=120),
+        st.integers(min_value=0, max_value=11),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_progress_weight_lower_bounds_cost(self, vector, start):
+        """Fact 3.17, as a property over arbitrary ring movements: if the
+        progress vector preserves k pairs, the agent walked at least
+        k * E / 6 edges.  This is the load-bearing inequality of
+        Theorem 3.2."""
+        n = 12
+        aggregate = aggregate_vector(vector, n, start=start)
+        progress = define_progress(aggregate)
+        k = progress_weight(progress)
+        assert solo_cost(vector) >= fact317_cost_lower(k, n - 1)
+
+    def test_fast_schedule_has_logarithmic_progress_weight(self):
+        """For Algorithm Fast the progress weight grows with log L -- the
+        mechanism behind cost Omega(E log L)."""
+        from repro.core.fast import FastSimultaneous
+        from repro.exploration.ring import RingExploration
+        from repro.lower_bounds.behaviour import behaviour_from_schedule
+
+        n = 12
+        weights = {}
+        for label_space in (4, 64):
+            algorithm = FastSimultaneous(RingExploration(n), label_space)
+            label = label_space - 1  # a long label
+            vector = behaviour_from_schedule(algorithm.schedule(label), n - 1)
+            aggregate = aggregate_vector(vector, n)
+            weights[label_space] = progress_weight(define_progress(aggregate))
+        assert weights[64] > weights[4]

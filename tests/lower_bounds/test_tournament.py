@@ -1,0 +1,104 @@
+"""Tests for eagerness and the tournament Hamiltonian path."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lower_bounds.tournament import (
+    chain_executions,
+    eager_agent,
+    gap_f,
+    hamiltonian_path,
+    tournament_edges,
+)
+
+
+class TestGapF:
+    def test_values(self):
+        assert gap_f(12) == 6  # E = 11 -> ceil(11/2)
+        assert gap_f(13) == 6  # E = 12 -> 6
+        assert gap_f(7) == 3
+
+
+class TestEagerAgent:
+    def test_walker_is_eager(self):
+        # n = 12, F = 6: agent 1 walks clockwise, agent 2 idles.
+        vec_walk = [1] * 11
+        vec_idle = [0] * 11
+        report = eager_agent(1, vec_walk, 2, vec_idle, 12)
+        assert report.meeting_time == 6
+        assert report.eager == 1
+        assert report.disp_a == 6 and report.disp_b == 0
+
+    def test_reverse_walker_is_eager(self):
+        # Agent 2 walks counterclockwise all the way around to agent 1?
+        # No: agent 2 at gap 6 walking counterclockwise reaches agent 1
+        # after 6 steps with displacement -6 = -F: agent... 1 is then
+        # eager relative to 2? disp_a - disp_b = 6 = F -> agent 1 eager.
+        vec_idle = [0] * 11
+        vec_back = [-1] * 11
+        report = eager_agent(1, vec_idle, 2, vec_back, 12)
+        assert report.meeting_time == 6
+        assert report.eager == 1
+
+    def test_never_meeting_raises(self):
+        with pytest.raises(ValueError, match="never meet"):
+            eager_agent(1, [0] * 5, 2, [0] * 5, 12)
+
+
+class TestHamiltonianPath:
+    def test_transitive_tournament(self):
+        labels = [3, 1, 4, 2]
+        path = hamiltonian_path(labels, beats=lambda u, v: u < v)
+        assert path == [1, 2, 3, 4]
+
+    @given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60)
+    def test_random_tournament_always_has_a_path(self, size, seed):
+        """Redei's theorem, checked constructively on random tournaments."""
+        rng = random.Random(seed)
+        labels = list(range(size))
+        orientation = {}
+        for u, v in itertools.combinations(labels, 2):
+            orientation[(u, v)] = rng.random() < 0.5
+
+        def beats(u, v):
+            a, b = min(u, v), max(u, v)
+            forward = orientation[(a, b)]
+            return forward if u == a else not forward
+
+        path = hamiltonian_path(labels, beats)
+        assert sorted(path) == labels
+        assert all(beats(u, v) for u, v in zip(path, path[1:]))
+
+
+class TestTournamentOverVectors:
+    def test_cheap_tournament_is_transitive_by_label(self):
+        """For Cheap (simultaneous) the smaller label is always the eager
+        agent, so the Hamiltonian path ascends through the labels."""
+        from repro.core.cheap import CheapSimultaneous
+        from repro.exploration.ring import RingExploration
+        from repro.lower_bounds.behaviour import behaviour_from_schedule
+
+        n, label_space = 12, 6
+        algorithm = CheapSimultaneous(RingExploration(n), label_space)
+        vectors = {
+            label: behaviour_from_schedule(algorithm.schedule(label), n - 1)
+            for label in range(1, label_space + 1)
+        }
+        reports = tournament_edges(vectors, n)
+        for (a, b), report in reports.items():
+            assert report.eager == a  # smaller label does the work
+
+        def beats(u, v):
+            return reports[(min(u, v), max(u, v))].eager == u
+
+        path = hamiltonian_path(sorted(vectors), beats)
+        assert path == sorted(vectors)
+        chain = chain_executions(path, vectors, n)
+        times = [report.meeting_time for report in chain]
+        assert times == sorted(times)
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))

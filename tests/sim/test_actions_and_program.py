@@ -1,0 +1,120 @@
+"""Tests for actions, observations and the generator-program driver."""
+
+import pytest
+
+from repro.sim.actions import WAIT, is_move, validate_action
+from repro.sim.observation import Observation
+from repro.sim.program import ReactiveProgram, idle, idle_forever
+
+
+def obs(clock=0, degree=2, entry_port=None):
+    return Observation(clock=clock, degree=degree, entry_port=entry_port)
+
+
+class TestActions:
+    def test_wait_is_not_a_move(self):
+        assert not is_move(WAIT)
+        assert is_move(0)
+        assert is_move(3)
+
+    def test_validate_accepts_legal_ports(self):
+        validate_action(WAIT, degree=1)
+        validate_action(0, degree=1)
+        validate_action(4, degree=5)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="degree"):
+            validate_action(1, degree=1)
+        with pytest.raises(ValueError, match="degree"):
+            validate_action(-1, degree=3)
+
+    def test_validate_rejects_non_int(self):
+        with pytest.raises(ValueError, match="WAIT or an int"):
+            validate_action("0", degree=3)
+        with pytest.raises(ValueError, match="WAIT or an int"):
+            validate_action(True, degree=3)
+
+
+class TestReactiveProgram:
+    def test_emits_actions_in_order(self):
+        def program():
+            observation = yield
+            observation = yield 0
+            observation = yield WAIT
+            observation = yield 1
+
+        driver = ReactiveProgram(program())
+        assert driver.step(obs()) == 0
+        assert driver.step(obs(clock=1)) is WAIT
+        assert driver.step(obs(clock=2)) == 1
+        assert not driver.finished
+        assert driver.step(obs(clock=3)) is WAIT
+        assert driver.finished
+
+    def test_exhausted_program_waits_forever(self):
+        def program():
+            observation = yield
+
+        driver = ReactiveProgram(program())
+        for clock in range(5):
+            assert driver.step(obs(clock=clock)) is WAIT
+        assert driver.finished
+
+    def test_bad_priming_detected(self):
+        def program():
+            yield 0  # illegal: must prime with a bare yield
+
+        driver = ReactiveProgram(program())
+        with pytest.raises(RuntimeError, match="priming"):
+            driver.step(obs())
+
+    def test_program_receives_observations(self):
+        received = []
+
+        def program():
+            observation = yield
+            received.append(observation)
+            observation = yield WAIT
+            received.append(observation)
+
+        driver = ReactiveProgram(program())
+        first = obs(clock=0, degree=3)
+        second = obs(clock=1, degree=4)
+        driver.step(first)
+        driver.step(second)
+        assert received == [first, second]
+
+
+class TestIdleHelpers:
+    def drive(self, gen, observations):
+        """Drive a sub-behaviour, returning (actions, return_value)."""
+        actions = []
+        try:
+            action = next(gen)
+            for observation in observations:
+                actions.append(action)
+                action = gen.send(observation)
+            raise AssertionError("generator yielded more than expected")
+        except StopIteration as stop:
+            return actions, stop.value
+
+    def test_idle_exact_rounds(self):
+        observations = [obs(clock=c) for c in range(1, 4)]
+        actions, final = self.drive(idle(3, obs()), observations)
+        assert actions == [WAIT, WAIT, WAIT]
+        assert final == observations[-1]
+
+    def test_idle_zero_rounds(self):
+        gen = idle(0, obs())
+        with pytest.raises(StopIteration):
+            next(gen)
+
+    def test_idle_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(idle(-1, obs()))
+
+    def test_idle_forever_never_stops(self):
+        gen = idle_forever(obs())
+        assert next(gen) is WAIT
+        for clock in range(10):
+            assert gen.send(obs(clock=clock)) is WAIT

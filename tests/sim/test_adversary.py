@@ -1,0 +1,82 @@
+"""Tests for the worst-case adversary search."""
+
+import pytest
+
+from repro.core import CheapSimultaneous, Fast
+from repro.exploration.ring import RingExploration
+from repro.sim.adversary import (
+    Configuration,
+    all_label_pairs,
+    configurations,
+    worst_case_search,
+)
+
+
+class TestConfigurationEnumeration:
+    def test_all_label_pairs_ordered(self):
+        pairs = list(all_label_pairs(3))
+        assert (1, 2) in pairs and (2, 1) in pairs
+        assert len(pairs) == 6
+        assert all(a != b for a, b in pairs)
+
+    def test_full_start_enumeration(self, ring12):
+        configs = list(configurations(ring12, [(1, 2)], delays=(0,)))
+        # 12 * 11 ordered start pairs.
+        assert len(configs) == 132
+
+    def test_fixed_first_start(self, ring12):
+        configs = list(
+            configurations(ring12, [(1, 2)], delays=(0, 5), fix_first_start=True)
+        )
+        assert len(configs) == 11 * 2
+        assert all(config.starts[0] == 0 for config in configs)
+
+    def test_explicit_start_pairs(self, ring12):
+        configs = list(
+            configurations(ring12, [(1, 2)], start_pairs=[(0, 3), (0, 9)])
+        )
+        assert [config.starts for config in configs] == [(0, 3), (0, 9)]
+
+
+class TestWorstCaseSearch:
+    def test_finds_worst_configuration(self, ring12, ring12_exploration):
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=4)
+        report = worst_case_search(
+            ring12,
+            algorithm,
+            configurations(ring12, all_label_pairs(4), fix_first_start=True),
+            max_rounds=lambda config: max(
+                algorithm.schedule_length(config.labels[0]),
+                algorithm.schedule_length(config.labels[1]),
+            ),
+        )
+        assert not report.failures
+        # Worst time is achieved when the smaller label is 3 (waits 2E
+        # rounds) and must then walk nearly a full exploration.
+        assert report.max_time == algorithm.time_bound(3)
+        assert report.max_cost <= algorithm.cost_bound()
+
+    def test_failures_are_reported_not_raised(self, ring12, ring12_exploration):
+        algorithm = Fast(ring12_exploration, label_space=4)
+        report = worst_case_search(
+            ring12,
+            algorithm,
+            configurations(ring12, [(1, 2)], fix_first_start=True),
+            max_rounds=1,  # hopeless horizon
+        )
+        assert report.worst_time is None
+        assert len(report.failures) == 11
+        with pytest.raises(ValueError, match="no successful execution"):
+            _ = report.max_time
+
+    def test_sampling_limits_executions(self, ring12, ring12_exploration):
+        algorithm = Fast(ring12_exploration, label_space=4)
+        report = worst_case_search(
+            ring12,
+            algorithm,
+            configurations(ring12, all_label_pairs(4), fix_first_start=True),
+            max_rounds=lambda config: algorithm.schedule_length(4),
+            sample=10,
+        )
+        assert report.executions == 10
+        assert not report.failures

@@ -1,0 +1,123 @@
+"""Tests for the k-agent gathering extension."""
+
+import itertools
+
+import pytest
+
+from repro.core.cheap import CheapSimultaneous
+from repro.core.fast import FastSimultaneous
+from repro.exploration.dfs import KnownMapDFS
+from repro.exploration.ring import RingExploration
+from repro.graphs.families import oriented_ring, star_graph
+from repro.graphs.orientation import CLOCKWISE
+from repro.sim.gathering import GatheringSimulator, GatheringSpec, gather
+
+
+def scripted(*actions):
+    def factory(ctx):
+        obs = yield
+        for action in actions:
+            obs = yield action
+
+    return factory
+
+
+def still():
+    return scripted()
+
+
+class TestMergeSemantics:
+    def test_walker_collects_two_sitters(self, ring12):
+        specs = [
+            GatheringSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            GatheringSpec(label=2, start_node=3, factory=still()),
+            GatheringSpec(label=3, start_node=7, factory=still()),
+        ]
+        result = GatheringSimulator(ring12).run(specs, max_rounds=20)
+        assert result.gathered
+        assert result.time == 7  # second sitter collected at node 7
+        assert result.merge_times == (3, 7)
+        # Cost: 3 solo steps, then 4 steps as a pair: 3 + 8 = 11.
+        assert result.cost == 11
+
+    def test_leader_is_smallest_label(self, ring12):
+        # The walker has the LARGER label; after merging with a sitter of
+        # smaller label, the group must follow the sitter (i.e. stop).
+        specs = [
+            GatheringSpec(label=5, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            GatheringSpec(label=1, start_node=3, factory=still()),
+            GatheringSpec(label=2, start_node=7, factory=still()),
+        ]
+        result = GatheringSimulator(ring12).run(specs, max_rounds=40)
+        # Group {5,1} follows label 1's program (idle forever): the third
+        # agent is never collected.
+        assert not result.gathered
+        assert result.final_group_count == 2
+
+    def test_validation(self, ring12):
+        with pytest.raises(ValueError, match="two agents"):
+            GatheringSimulator(ring12).run(
+                [GatheringSpec(label=1, start_node=0, factory=still())], 5
+            )
+        with pytest.raises(ValueError, match="distinct"):
+            GatheringSimulator(ring12).run(
+                [
+                    GatheringSpec(label=1, start_node=0, factory=still()),
+                    GatheringSpec(label=1, start_node=3, factory=still()),
+                ],
+                5,
+            )
+
+
+class TestGatheringWithPaperAlgorithms:
+    def test_cheap_gathers_k_agents_on_ring(self, ring12, ring12_exploration):
+        """CheapSimultaneous gathers any k agents: the smallest label's
+        exploration pass collects everyone (all others still waiting)."""
+        label_space = 8
+        algorithm = CheapSimultaneous(ring12_exploration, label_space)
+        for labels in ((1, 2, 3), (2, 5, 7), (3, 4, 6, 8)):
+            starts = tuple(4 * i for i in range(len(labels)))[: len(labels)]
+            starts = tuple((3 * i) % 12 for i in range(len(labels)))
+            result = gather(ring12, algorithm, labels, starts)
+            assert result.gathered, (labels, starts)
+            smallest = min(labels)
+            assert result.time <= smallest * 11  # within the 2-agent bound
+
+    def test_fast_gathers_k_agents_within_two_agent_bound(
+        self, ring12, ring12_exploration
+    ):
+        """Any two surviving leaders trace the two-agent execution, so a
+        single group remains by Fast's two-agent bound."""
+        label_space = 8
+        algorithm = FastSimultaneous(ring12_exploration, label_space)
+        bound = algorithm.time_bound()
+        for labels in itertools.combinations(range(1, label_space + 1), 3):
+            starts = (0, 4, 8)
+            result = gather(ring12, algorithm, labels, starts)
+            assert result.gathered, labels
+            assert result.time <= bound
+
+    def test_gathering_on_star(self):
+        star = star_graph(7)
+        algorithm = CheapSimultaneous(KnownMapDFS(star), 6)
+        result = gather(star, algorithm, labels=(2, 4, 6), starts=(1, 3, 5))
+        assert result.gathered
+        assert result.node is not None
+
+    def test_cost_counts_all_members(self, ring12, ring12_exploration):
+        algorithm = CheapSimultaneous(ring12_exploration, 4)
+        pair = gather(ring12, algorithm, labels=(1, 2), starts=(0, 6))
+        trio = gather(ring12, algorithm, labels=(1, 2, 3), starts=(0, 6, 9))
+        assert trio.gathered and pair.gathered
+        # Collecting a third agent can only add traversals.
+        assert trio.cost >= pair.cost
+
+    def test_four_agents_worst_labels(self, ring12, ring12_exploration):
+        algorithm = FastSimultaneous(ring12_exploration, 8)
+        result = gather(
+            ring12, algorithm, labels=(5, 6, 7, 8), starts=(0, 3, 6, 9)
+        )
+        assert result.gathered
+        # A round may absorb several groups, so merge rounds number
+        # between 1 and k - 1 (here the merges happen one at a time).
+        assert 1 <= len(result.merge_times) <= 3

@@ -1,0 +1,70 @@
+"""Tests for result records, traces and orientation helpers."""
+
+import pytest
+
+from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE, step_displacement
+from repro.sim.metrics import RendezvousResult
+from repro.sim.trace import AgentTrace
+
+
+def make_result(**overrides):
+    defaults = dict(
+        met=True,
+        time=5,
+        meeting_node=2,
+        cost=7,
+        costs=(4, 3),
+        crossings=0,
+        rounds_executed=5,
+        traces=(),
+    )
+    defaults.update(overrides)
+    return RendezvousResult(**defaults)
+
+
+class TestRendezvousResult:
+    def test_summary_for_success(self):
+        summary = make_result().summary
+        assert "met at node 2" in summary
+        assert "round 5" in summary
+        assert "cost 7 = 4 + 3" in summary
+
+    def test_summary_for_failure(self):
+        result = make_result(met=False, time=None, meeting_node=None)
+        assert "no meeting within 5 rounds" in result.summary
+
+    def test_met_requires_time(self):
+        with pytest.raises(ValueError, match="meeting time"):
+            make_result(time=None)
+
+    def test_costs_must_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            make_result(costs=(1, 1))
+
+
+class TestAgentTrace:
+    def test_record_accumulates(self):
+        trace = AgentTrace(label=1, start_node=0, wake_round=1)
+        trace.positions.append(0)
+        trace.record(CLOCKWISE, 1)
+        trace.record(None, 1)
+        trace.record(COUNTERCLOCKWISE, 0)
+        assert trace.moves == 2
+        assert trace.positions == [0, 1, 1, 0]
+
+    def test_behaviour_vector_rejects_non_ring_ports(self):
+        trace = AgentTrace(label=1, start_node=0, wake_round=1)
+        trace.record(3, 1)  # port 3 cannot exist on a degree-2 ring node
+        with pytest.raises(ValueError, match="oriented-ring"):
+            trace.behaviour_vector()
+
+
+class TestOrientation:
+    def test_step_displacement(self):
+        assert step_displacement(None) == 0
+        assert step_displacement(CLOCKWISE) == 1
+        assert step_displacement(COUNTERCLOCKWISE) == -1
+
+    def test_invalid_port(self):
+        with pytest.raises(ValueError):
+            step_displacement(2)

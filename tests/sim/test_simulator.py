@@ -1,0 +1,236 @@
+"""Behavioural tests of the synchronous simulator engine."""
+
+import pytest
+
+from repro.graphs.families import oriented_ring, path_graph
+from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE
+from repro.sim.actions import WAIT
+from repro.sim.simulator import (
+    AgentSpec,
+    PresenceModel,
+    Simulator,
+    simulate_rendezvous,
+)
+
+
+def scripted(*actions):
+    """A program factory that plays a fixed action list, then stops."""
+
+    def factory(ctx):
+        obs = yield
+        for action in actions:
+            obs = yield action
+
+    return factory
+
+
+def still():
+    """A program that never moves."""
+    return scripted()
+
+
+class TestMeetingDetection:
+    def test_walker_meets_stationary_agent(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            AgentSpec(label=2, start_node=4, factory=still()),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=20)
+        assert result.met
+        assert result.time == 4  # four clockwise steps to reach node 4
+        assert result.meeting_node == 4
+        assert result.cost == 4
+        assert result.costs == (4, 0)
+
+    def test_two_stationary_agents_never_meet(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=still()),
+            AgentSpec(label=2, start_node=6, factory=still()),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=15)
+        assert not result.met
+        assert result.time is None
+        assert result.rounds_executed == 15
+
+    def test_head_on_collision_at_common_node(self, ring12):
+        # Agents at 0 and 4 both walk toward node 2.
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 5)),
+            AgentSpec(label=2, start_node=4, factory=scripted(*[COUNTERCLOCKWISE] * 5)),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=10)
+        assert result.met
+        assert result.time == 2
+        assert result.meeting_node == 2
+        assert result.cost == 4  # both moved twice
+
+    def test_crossing_an_edge_is_not_a_meeting(self):
+        # On a 2-node path both agents swap endpoints forever: they cross
+        # on the edge every round and never share a node.
+        path = path_graph(2)
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[0] * 6)),
+            AgentSpec(label=2, start_node=1, factory=scripted(*[0] * 6)),
+        ]
+        result = Simulator(path).run(specs, max_rounds=6)
+        assert not result.met
+        assert result.crossings == 6
+
+    def test_meeting_stops_cost_accounting(self, ring12):
+        # The walker would walk 11 steps, but meets after 4; the cost must
+        # not include the unexecuted remainder.
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            AgentSpec(label=2, start_node=4, factory=scripted(*[CLOCKWISE] * 11)),
+        ]
+        # Both move clockwise; gap stays 4 until agent 2's script ends...
+        # make agent 2 stop after 2 moves instead.
+        specs[1] = AgentSpec(label=2, start_node=4, factory=scripted(CLOCKWISE, CLOCKWISE))
+        result = Simulator(ring12).run(specs, max_rounds=20)
+        assert result.met
+        assert result.time == 6  # catches up after agent 2 stops at node 6
+        assert result.meeting_node == 6
+        assert result.costs == (6, 2)
+
+
+class TestDelaysAndPresence:
+    def test_sleeping_agent_is_found_from_start(self, ring12):
+        # Agent 2 wakes very late; the walker finds it asleep at node 3.
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            AgentSpec(label=2, start_node=3, factory=still(), wake_round=100),
+        ]
+        result = Simulator(ring12, PresenceModel.FROM_START).run(specs, max_rounds=30)
+        assert result.met
+        assert result.time == 3
+
+    def test_parachute_agent_not_present_before_wake(self, ring12):
+        # Same setup under the parachute model: the walker passes node 3
+        # while agent 2 is absent, so no early meeting happens.
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 11)),
+            AgentSpec(label=2, start_node=3, factory=still(), wake_round=100),
+        ]
+        result = Simulator(ring12, PresenceModel.PARACHUTE).run(specs, max_rounds=30)
+        assert not result.met
+
+    def test_parachute_agent_lands_on_occupied_node(self, ring12):
+        # The walker reaches node 3 at time 3 and stays; agent 2 appears
+        # exactly there at time point 4 (wake round 5).
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 3)),
+            AgentSpec(label=2, start_node=3, factory=still(), wake_round=5),
+        ]
+        result = Simulator(ring12, PresenceModel.PARACHUTE).run(specs, max_rounds=30)
+        assert result.met
+        assert result.time == 4
+        assert result.cost == 3
+
+    def test_delayed_agent_starts_its_script_at_wake(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=still()),
+            AgentSpec(
+                label=2,
+                start_node=6,
+                factory=scripted(*[COUNTERCLOCKWISE] * 6),
+                wake_round=4,
+            ),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=30)
+        assert result.met
+        # Wakes in round 4, needs 6 steps: meeting at global round 9.
+        assert result.time == 9
+        assert result.cost == 6
+
+
+class TestValidation:
+    def test_same_start_rejected(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=still()),
+            AgentSpec(label=2, start_node=0, factory=still()),
+        ]
+        with pytest.raises(ValueError, match="distinct nodes"):
+            Simulator(ring12).run(specs, max_rounds=5)
+
+    def test_duplicate_labels_rejected(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=still()),
+            AgentSpec(label=1, start_node=3, factory=still()),
+        ]
+        with pytest.raises(ValueError, match="labels"):
+            Simulator(ring12).run(specs, max_rounds=5)
+
+    def test_earliest_wake_must_be_round_one(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=still(), wake_round=2),
+            AgentSpec(label=2, start_node=3, factory=still(), wake_round=5),
+        ]
+        with pytest.raises(ValueError, match="round 1"):
+            Simulator(ring12).run(specs, max_rounds=5)
+
+    def test_wake_round_below_one_rejected(self):
+        with pytest.raises(ValueError, match="wake_round"):
+            AgentSpec(label=1, start_node=0, factory=still(), wake_round=0)
+
+    def test_start_node_outside_graph_rejected(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=99, factory=still()),
+            AgentSpec(label=2, start_node=3, factory=still()),
+        ]
+        with pytest.raises(ValueError, match="outside"):
+            Simulator(ring12).run(specs, max_rounds=5)
+
+    def test_illegal_port_from_program_rejected(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(7)),
+            AgentSpec(label=2, start_node=3, factory=still()),
+        ]
+        with pytest.raises(ValueError, match="port 7"):
+            Simulator(ring12).run(specs, max_rounds=5)
+
+    def test_no_agents_rejected(self, ring12):
+        with pytest.raises(ValueError, match="at least one"):
+            Simulator(ring12).run([], max_rounds=5)
+
+
+class TestTraces:
+    def test_positions_recorded_per_time_point(self, ring12):
+        specs = [
+            AgentSpec(label=1, start_node=0, factory=scripted(*[CLOCKWISE] * 3)),
+            AgentSpec(label=2, start_node=3, factory=still()),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=10)
+        walker = result.traces[0]
+        assert walker.positions == [0, 1, 2, 3]
+        assert walker.actions == [CLOCKWISE] * 3
+        assert walker.moves == 3
+
+    def test_behaviour_vector_from_trace(self, ring12):
+        specs = [
+            AgentSpec(
+                label=1,
+                start_node=0,
+                factory=scripted(CLOCKWISE, WAIT, COUNTERCLOCKWISE),
+            ),
+            AgentSpec(label=2, start_node=6, factory=still()),
+        ]
+        result = Simulator(ring12).run(specs, max_rounds=3)
+        assert result.traces[0].behaviour_vector() == [1, 0, -1]
+
+
+class TestConvenienceWrapper:
+    def test_simulate_rendezvous_runs_algorithms(self, ring12, ring12_exploration):
+        from repro.core import Fast
+
+        algorithm = Fast(ring12_exploration, label_space=8)
+        result = simulate_rendezvous(
+            ring12, algorithm, labels=(2, 7), starts=(0, 5), delay=3
+        )
+        assert result.met
+        assert result.time <= algorithm.time_bound()
+
+    def test_explicit_max_rounds_required_without_schedule_length(self, ring12):
+        with pytest.raises(ValueError, match="schedule_length"):
+            simulate_rendezvous(
+                ring12, scripted(CLOCKWISE), labels=(1, 2), starts=(0, 5)
+            )

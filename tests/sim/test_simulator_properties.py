@@ -1,0 +1,120 @@
+"""Property-based tests of the simulator engine's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.families import oriented_ring, random_connected_graph
+from repro.sim.actions import is_move
+from repro.sim.simulator import AgentSpec, Simulator
+
+
+def scripted_mod(steps):
+    """A program that interprets each step modulo the current degree
+    (so arbitrary integer scripts are valid on arbitrary graphs);
+    negative steps mean WAIT."""
+
+    def factory(ctx):
+        obs = yield
+        for step in steps:
+            if step < 0:
+                obs = yield None
+            else:
+                obs = yield step % obs.degree
+
+    return factory
+
+
+@st.composite
+def simulator_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    extra = draw(st.integers(min_value=0, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    graph = random_connected_graph(n, extra, random.Random(seed))
+    script_a = draw(st.lists(st.integers(min_value=-1, max_value=8), max_size=30))
+    script_b = draw(st.lists(st.integers(min_value=-1, max_value=8), max_size=30))
+    start_a = draw(st.integers(min_value=0, max_value=n - 1))
+    start_b = draw(
+        st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != start_a)
+    )
+    return graph, script_a, script_b, (start_a, start_b)
+
+
+@given(simulator_cases())
+@settings(max_examples=80, deadline=None)
+def test_cost_equals_recorded_moves(case):
+    graph, script_a, script_b, starts = case
+    specs = [
+        AgentSpec(label=1, start_node=starts[0], factory=scripted_mod(script_a)),
+        AgentSpec(label=2, start_node=starts[1], factory=scripted_mod(script_b)),
+    ]
+    result = Simulator(graph).run(specs, max_rounds=40)
+    assert result.cost == sum(
+        1 for trace in result.traces for action in trace.actions if is_move(action)
+    )
+    assert result.costs == tuple(trace.moves for trace in result.traces)
+
+
+@given(simulator_cases())
+@settings(max_examples=80, deadline=None)
+def test_positions_consistent_with_actions(case):
+    """Replaying each trace's actions from its start reproduces the
+    recorded positions (the trace is a faithful log)."""
+    graph, script_a, script_b, starts = case
+    specs = [
+        AgentSpec(label=1, start_node=starts[0], factory=scripted_mod(script_a)),
+        AgentSpec(label=2, start_node=starts[1], factory=scripted_mod(script_b)),
+    ]
+    result = Simulator(graph).run(specs, max_rounds=40)
+    for trace in result.traces:
+        position = trace.start_node
+        for action, recorded in zip(trace.actions, trace.positions[1:]):
+            if is_move(action):
+                position, _ = graph.neighbor_via(position, action)
+            assert position == recorded
+
+
+@given(simulator_cases())
+@settings(max_examples=60, deadline=None)
+def test_meeting_symmetric_under_agent_order(case):
+    """Swapping the order in which agents are listed changes nothing."""
+    graph, script_a, script_b, starts = case
+    forward = Simulator(graph).run(
+        [
+            AgentSpec(label=1, start_node=starts[0], factory=scripted_mod(script_a)),
+            AgentSpec(label=2, start_node=starts[1], factory=scripted_mod(script_b)),
+        ],
+        max_rounds=40,
+    )
+    swapped = Simulator(graph).run(
+        [
+            AgentSpec(label=2, start_node=starts[1], factory=scripted_mod(script_b)),
+            AgentSpec(label=1, start_node=starts[0], factory=scripted_mod(script_a)),
+        ],
+        max_rounds=40,
+    )
+    assert forward.met == swapped.met
+    assert forward.time == swapped.time
+    assert forward.cost == swapped.cost
+    assert forward.crossings == swapped.crossings
+
+
+@given(st.integers(min_value=3, max_value=12), st.data())
+@settings(max_examples=50, deadline=None)
+def test_ring_crossings_counted(n, data):
+    """Two clockwise/counterclockwise walkers on an odd cycle cross at
+    most once before meeting; on any ring crossings + meetings behave."""
+    ring = oriented_ring(n)
+    gap = data.draw(st.integers(min_value=1, max_value=n - 1))
+    specs = [
+        AgentSpec(label=1, start_node=0, factory=scripted_mod([0] * n)),
+        AgentSpec(label=2, start_node=gap, factory=scripted_mod([1] * n)),
+    ]
+    result = Simulator(ring).run(specs, max_rounds=n)
+    # Approaching walkers either meet at a node (even gap) or cross on an
+    # edge (odd gap) within the first ceil(gap/2) rounds.
+    if gap % 2 == 0:
+        assert result.met and result.time == gap // 2
+    else:
+        assert result.crossings >= 1

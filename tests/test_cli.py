@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_algorithm, build_graph, main
+
+
+class TestBuilders:
+    def test_build_graph_families(self):
+        assert build_graph("ring", 10).num_nodes == 10
+        assert build_graph("star", 7).num_nodes == 7
+        assert build_graph("hypercube", 8).num_nodes == 8
+
+    def test_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_graph("moebius", 10)
+
+    def test_build_algorithm_variants(self):
+        graph = build_graph("ring", 12)
+        for name in ("cheap", "cheap-sim", "fast", "fast-sim", "fwr", "fwr-sim"):
+            algorithm = build_algorithm(name, graph, 8, 2)
+            assert algorithm.label_space == 8
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_algorithm("teleport", build_graph("ring", 12), 8, 2)
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "fast", "--labels", "2", "5",
+             "--starts", "0", "6", "--delay", "3", "--verbose"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "met at node" in output
+        assert "agent 2" in output
+
+    def test_sweep_command(self, capsys):
+        exit_code = main(
+            ["sweep", "--algorithm", "cheap", "--size", "9",
+             "--label-space", "4", "--delays", "0", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Worst-case sweep" in output
+        assert "paper bound" in output
+
+    def test_certify_31(self, capsys):
+        exit_code = main(
+            ["certify", "--theorem", "3.1", "--algorithm", "cheap-sim",
+             "--size", "12", "--label-space", "6"]
+        )
+        assert exit_code == 0
+        assert "Fact 3.3" in capsys.readouterr().out
+
+    def test_certify_32(self, capsys):
+        exit_code = main(
+            ["certify", "--theorem", "3.2", "--algorithm", "fast-sim",
+             "--size", "12", "--label-space", "6"]
+        )
+        assert exit_code == 0
+        assert "Fact 3.17" in capsys.readouterr().out
+
+    def test_certify_rejects_bad_ring_size(self):
+        with pytest.raises(SystemExit, match="divisible by 6"):
+            main(["certify", "--size", "10", "--algorithm", "cheap-sim"])
+
+    def test_explore_command(self, capsys):
+        exit_code = main(["explore"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ring-clockwise" in output
+        assert "try-all-dfs" in output
+
+    def test_tradeoff_command(self, capsys):
+        exit_code = main(["tradeoff", "--size", "12", "--label-space", "16"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cheap-simultaneous" in output
+        assert "fast-simultaneous" in output
