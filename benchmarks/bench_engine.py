@@ -2,8 +2,11 @@
 
 Not a paper experiment -- these keep the infrastructure honest: the round
 simulator's cost per round, the prefix-sum ring executor's advantage over
-it, and the ``Trim`` procedure's full pairwise sweep.
+it, the ``Trim`` procedure's full pairwise sweep, and the experiment
+runtime's parallel-vs-serial sweep throughput.
 """
+
+import time
 
 from repro.core.cheap import CheapSimultaneous
 from repro.core.fast import Fast, FastSimultaneous
@@ -12,6 +15,15 @@ from repro.graphs.families import oriented_ring
 from repro.lower_bounds.behaviour import behaviour_from_schedule
 from repro.lower_bounds.ring_exec import meeting_round
 from repro.lower_bounds.trim import trimmed_from_algorithm
+from repro.runtime import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    canonical_json,
+    execute_job,
+)
 from repro.sim.simulator import simulate_rendezvous
 
 
@@ -40,3 +52,43 @@ def test_engine_trim_sweep(benchmark):
     algorithm = CheapSimultaneous(RingExploration(12), 8)
     trimmed = benchmark(lambda: trimmed_from_algorithm(algorithm, 12))
     assert len(trimmed.labels) == 8
+
+
+RUNTIME_JOB = JobSpec(
+    algorithm=AlgorithmSpec("fast-sim", 8),
+    graph=GraphSpec.make("ring", n=16),
+    delays=(0,),
+    fix_first_start=True,
+)
+
+
+def test_engine_runtime_serial_sweep(benchmark):
+    """The sharded runtime on one in-process worker (840 simulations)."""
+    outcome = benchmark(lambda: execute_job(RUNTIME_JOB, executor=SerialExecutor()))
+    assert outcome.report.executions == RUNTIME_JOB.config_space_size()
+
+
+def test_engine_runtime_parallel_speedup(benchmark, report):
+    """The same sweep on a 4-worker process pool, with a speedup readout.
+
+    On a single-core box the pool can only break even at best, so the
+    assertion is on determinism (bit-identical reports), not on speedup;
+    the measured ratio is printed for humans and the bench log.
+    """
+    serial_started = time.perf_counter()
+    serial = execute_job(RUNTIME_JOB, executor=SerialExecutor())
+    serial_seconds = time.perf_counter() - serial_started
+
+    executor = ParallelExecutor(4)
+    parallel = benchmark(lambda: execute_job(RUNTIME_JOB, executor=executor))
+    assert canonical_json(parallel.report.to_dict()) == canonical_json(
+        serial.report.to_dict()
+    )
+    parallel_seconds = benchmark.stats.stats.mean
+    report([
+        f"runtime sweep: {RUNTIME_JOB.config_space_size()} simulations, "
+        f"{parallel.stats.shards_total} shards",
+        f"serial {serial_seconds * 1000:.0f} ms, "
+        f"parallel(4) {parallel_seconds * 1000:.0f} ms "
+        f"-> speedup x{serial_seconds / parallel_seconds:.2f}",
+    ])

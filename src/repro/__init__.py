@@ -43,6 +43,15 @@ from repro.exploration import (
     best_exploration,
 )
 from repro.graphs import PortLabeledGraph, oriented_ring
+from repro.runtime import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    ParallelExecutor,
+    RunStore,
+    SerialExecutor,
+    execute_job,
+)
 from repro.sim import (
     PresenceModel,
     RendezvousResult,
@@ -54,6 +63,7 @@ from repro.sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmSpec",
     "Cheap",
     "CheapSimultaneous",
     "ExplorationProcedure",
@@ -61,17 +71,23 @@ __all__ = [
     "FastSimultaneous",
     "FastWithRelabeling",
     "FastWithRelabelingSimultaneous",
+    "GraphSpec",
     "IteratedDoublingRendezvous",
+    "JobSpec",
     "KnownMapDFS",
+    "ParallelExecutor",
     "PortLabeledGraph",
     "PresenceModel",
     "RendezvousAlgorithm",
     "RendezvousResult",
     "RingExploration",
+    "RunStore",
+    "SerialExecutor",
     "Simulator",
     "UXSExploration",
     "best_exploration",
     "bounds",
+    "execute_job",
     "oriented_ring",
     "simulate_rendezvous",
     "worst_case_search",

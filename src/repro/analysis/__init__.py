@@ -7,7 +7,7 @@ adversary, renders a plain-text table of measured-vs-paper columns, and
 """
 
 from repro.analysis.tables import Table, format_ratio
-from repro.analysis.sweep import SweepRow, worst_case_sweep
+from repro.analysis.sweep import SweepRow, worst_case_sweep, worst_case_sweep_runtime
 from repro.analysis.tradeoff import TradeoffPoint, tradeoff_points
 from repro.analysis.ascii_plot import scatter_plot
 from repro.analysis.memory import MemoryProfile, counter_bits, dfs_walk_bits, map_bits
@@ -24,4 +24,5 @@ __all__ = [
     "scatter_plot",
     "tradeoff_points",
     "worst_case_sweep",
+    "worst_case_sweep_runtime",
 ]

@@ -4,6 +4,16 @@ A sweep takes an algorithm instance and a graph, runs the adversary over
 labels x starts x delays, and produces a :class:`SweepRow` holding the
 measured worst time/cost next to the paper's bounds and the argmax
 configurations (so every reported number can be replayed).
+
+Two execution paths produce identical rows:
+
+* :func:`worst_case_sweep` -- in-process, taking live objects; the
+  original serial path, still used where the caller already holds an
+  algorithm instance and the space is small;
+* :func:`worst_case_sweep_runtime` -- spec-based, delegating to
+  :mod:`repro.runtime`: the space is sharded, shards run on an executor
+  (serial or a process pool) and completed shards are cached in the run
+  store, so repeated sweeps and interrupted runs skip finished work.
 """
 
 from __future__ import annotations
@@ -13,10 +23,15 @@ from typing import Iterable, Sequence
 
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.runtime.executor import Executor
+from repro.runtime.runner import RunStats, execute_job
+from repro.runtime.spec import JobSpec
+from repro.runtime.store import RunStore
 from repro.sim.adversary import (
     Configuration,
     all_label_pairs,
     configurations,
+    default_horizon,
     worst_case_search,
 )
 
@@ -70,10 +85,7 @@ def worst_case_sweep(
         label_pairs = all_label_pairs(algorithm.label_space)
 
     def horizon(config: Configuration) -> int:
-        return config.delay + max(
-            algorithm.schedule_length(config.labels[0]),
-            algorithm.schedule_length(config.labels[1]),
-        )
+        return default_horizon(algorithm, config)
 
     report = worst_case_search(
         graph,
@@ -87,6 +99,17 @@ def worst_case_sweep(
         max_rounds=horizon,
         sample=sample,
     )
+    return _row_from_report(algorithm, graph, graph_name, report)
+
+
+def _row_from_report(algorithm, graph, graph_name, report) -> SweepRow:
+    """Turn a worst-case report into a :class:`SweepRow`, or raise.
+
+    Accepts both :class:`~repro.sim.adversary.WorstCaseReport` and
+    :class:`~repro.runtime.report.MergedReport` (the shared shape: argmax
+    records exposing ``.config``, plus ``failures`` and ``executions``), so
+    the serial and runtime paths cannot drift apart.
+    """
     if report.failures:
         first = report.failures[0]
         raise AssertionError(
@@ -94,7 +117,8 @@ def worst_case_sweep(
             f"configurations, e.g. labels={first.labels} starts={first.starts} "
             f"delay={first.delay}"
         )
-    assert report.worst_time is not None and report.worst_cost is not None
+    if report.worst_time is None or report.worst_cost is None:
+        raise ValueError("empty configuration space: nothing to sweep")
     return SweepRow(
         algorithm=algorithm.name,
         graph=graph_name,
@@ -109,3 +133,36 @@ def worst_case_sweep(
         worst_time_config=report.worst_time.config,
         worst_cost_config=report.worst_cost.config,
     )
+
+
+def worst_case_sweep_runtime(
+    spec: JobSpec,
+    graph_name: str | None = None,
+    executor: Executor | None = None,
+    store: RunStore | None = None,
+    shard_count: int | None = None,
+    graph: PortLabeledGraph | None = None,
+    algorithm: RendezvousAlgorithm | None = None,
+) -> tuple[SweepRow, RunStats]:
+    """Runtime-backed worst-case sweep: sharded, parallelisable, cached.
+
+    Produces the same :class:`SweepRow` as :func:`worst_case_sweep` on the
+    equivalent live objects (the merge tie-breaking guarantees identical
+    argmax configurations), plus the :class:`~repro.runtime.runner.RunStats`
+    describing how many shards came from the store.  ``graph`` and
+    ``algorithm`` may be passed when the caller has already built them from
+    the spec, to avoid rebuilding (they must match the spec).
+    """
+    graph = graph if graph is not None else spec.graph.build()
+    algorithm = algorithm if algorithm is not None else spec.algorithm.build(graph)
+    if algorithm.requires_simultaneous_start and any(d != 0 for d in spec.delays):
+        raise ValueError(
+            f"{algorithm.name} requires simultaneous start; "
+            f"delays {spec.delays} invalid"
+        )
+    outcome = execute_job(
+        spec, executor=executor, store=store, shard_count=shard_count, graph=graph
+    )
+    name = graph_name if graph_name is not None else spec.graph.label
+    row = _row_from_report(algorithm, graph, name, outcome.report)
+    return row, outcome.stats

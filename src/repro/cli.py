@@ -3,7 +3,10 @@
 Commands:
 
 * ``run`` -- simulate one rendezvous and print the outcome and traces;
-* ``sweep`` -- adversarial worst-case sweep of an algorithm on a graph;
+* ``sweep`` -- adversarial worst-case sweep of an algorithm on a graph,
+  sharded over the runtime (``--workers N`` fans shards out to a process
+  pool; completed shards are cached in ``.repro_cache/`` unless
+  ``--no-cache`` is given, so reruns and interrupted sweeps resume);
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
 * ``explore`` -- print the exploration budgets ``E`` for the built-in
   graph families under each knowledge model.
@@ -19,66 +22,61 @@ import random
 import sys
 from typing import Sequence
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.analysis.sweep import worst_case_sweep_runtime
 from repro.analysis.tables import Table, format_ratio, print_lines
-from repro.core import (
-    Cheap,
-    CheapSimultaneous,
-    Fast,
-    FastSimultaneous,
-    FastWithRelabeling,
-    FastWithRelabelingSimultaneous,
-)
-from repro.exploration import KnowledgeModel, best_exploration
-from repro.graphs import (
-    complete_graph,
-    full_binary_tree,
-    hypercube,
-    oriented_ring,
-    path_graph,
-    star_graph,
-    torus_grid,
-)
+from repro.core.base import RendezvousAlgorithm
+from repro.graphs import oriented_ring
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.lower_bounds import certify_theorem_31, certify_theorem_32
 from repro.lower_bounds.trim import trimmed_from_algorithm
+from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec, RunStore, make_executor
+from repro.runtime.store import DEFAULT_CACHE_DIR
 from repro.sim import simulate_rendezvous
+
+#: Graphs on which pinning the first agent's start to node 0 loses no
+#: worst case (vertex-transitive families).
+VERTEX_TRANSITIVE = ("ring", "complete", "hypercube", "torus")
+
+
+def graph_spec(name: str, size: int) -> GraphSpec:
+    """The :class:`GraphSpec` for a named family at roughly ``size`` nodes."""
+    specs = {
+        "ring": lambda: GraphSpec.make("ring", n=size),
+        "path": lambda: GraphSpec.make("path", n=size),
+        "star": lambda: GraphSpec.make("star", n=size),
+        "complete": lambda: GraphSpec.make("complete", n=size),
+        "hypercube": lambda: GraphSpec.make(
+            "hypercube", dimension=max(1, size.bit_length() - 1)
+        ),
+        "tree": lambda: GraphSpec.make("tree", depth=max(1, size.bit_length() - 1)),
+        "torus": lambda: GraphSpec.make("torus", rows=3, cols=max(3, size // 3)),
+    }
+    if name not in specs:
+        raise SystemExit(f"unknown graph {name!r}; choose from {sorted(specs)}")
+    return specs[name]()
+
+
+def algorithm_spec(name: str, label_space: int, weight: int) -> AlgorithmSpec:
+    """The :class:`AlgorithmSpec` for a named algorithm (SystemExit if unknown)."""
+    from repro.runtime.spec import ALGORITHM_BUILDERS
+
+    if name not in ALGORITHM_BUILDERS:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHM_BUILDERS)}"
+        )
+    return AlgorithmSpec(name=name, label_space=label_space, weight=weight)
 
 
 def build_graph(name: str, size: int) -> PortLabeledGraph:
     """Construct one of the named graph families at roughly ``size`` nodes."""
-    builders = {
-        "ring": lambda: oriented_ring(size),
-        "path": lambda: path_graph(size),
-        "star": lambda: star_graph(size),
-        "complete": lambda: complete_graph(size),
-        "hypercube": lambda: hypercube(max(1, size.bit_length() - 1)),
-        "tree": lambda: full_binary_tree(max(1, size.bit_length() - 1)),
-        "torus": lambda: torus_grid(3, max(3, size // 3)),
-    }
-    if name not in builders:
-        raise SystemExit(f"unknown graph {name!r}; choose from {sorted(builders)}")
-    return builders[name]()
+    return graph_spec(name, size).build()
 
 
-def build_algorithm(name: str, graph: PortLabeledGraph, label_space: int, weight: int):
+def build_algorithm(
+    name: str, graph: PortLabeledGraph, label_space: int, weight: int
+) -> RendezvousAlgorithm:
     """Instantiate an algorithm with the best available exploration."""
-    exploration = best_exploration(graph, KnowledgeModel.MAP_WITH_POSITION)
-    factories = {
-        "cheap": lambda: Cheap(exploration, label_space),
-        "cheap-sim": lambda: CheapSimultaneous(exploration, label_space),
-        "fast": lambda: Fast(exploration, label_space),
-        "fast-sim": lambda: FastSimultaneous(exploration, label_space),
-        "fwr": lambda: FastWithRelabeling(exploration, label_space, weight),
-        "fwr-sim": lambda: FastWithRelabelingSimultaneous(
-            exploration, label_space, weight
-        ),
-    }
-    if name not in factories:
-        raise SystemExit(
-            f"unknown algorithm {name!r}; choose from {sorted(factories)}"
-        )
-    return factories[name]()
+    return algorithm_spec(name, label_space, weight).build(graph)
 
 
 def command_run(args: argparse.Namespace) -> int:
@@ -103,15 +101,30 @@ def command_run(args: argparse.Namespace) -> int:
 
 
 def command_sweep(args: argparse.Namespace) -> int:
-    graph = build_graph(args.graph, args.size)
-    algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
+    g_spec = graph_spec(args.graph, args.size)
+    a_spec = algorithm_spec(args.algorithm, args.label_space, args.weight)
+    graph = g_spec.build()
+    algorithm = a_spec.build(graph)
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     delays = (0,) if algorithm.requires_simultaneous_start else tuple(args.delays)
-    row = worst_case_sweep(
-        algorithm,
-        graph,
-        f"{args.graph}-{graph.num_nodes}",
+    spec = JobSpec(
+        algorithm=a_spec,
+        graph=g_spec,
         delays=delays,
-        fix_first_start=args.graph in ("ring", "complete", "hypercube", "torus"),
+        fix_first_start=args.graph in VERTEX_TRANSITIVE,
+    )
+    store = None if args.no_cache else RunStore(args.cache_dir)
+    row, stats = worst_case_sweep_runtime(
+        spec,
+        graph_name=f"{args.graph}-{graph.num_nodes}",
+        executor=make_executor(args.workers),
+        store=store,
+        shard_count=args.shards,
+        graph=graph,
+        algorithm=algorithm,
     )
     table = Table(
         f"Worst-case sweep: {row.algorithm} on {row.graph} "
@@ -126,6 +139,8 @@ def command_sweep(args: argparse.Namespace) -> int:
     table.print()
     print(f"worst time at {row.worst_time_config}")
     print(f"worst cost at {row.worst_cost_config}")
+    print(f"runtime: {stats.summary()}, workers={args.workers}, "
+          f"cache={'off' if store is None else store.root}")
     return 0
 
 
@@ -144,7 +159,12 @@ def command_certify(args: argparse.Namespace) -> int:
 
 def command_tradeoff(args: argparse.Namespace) -> int:
     from repro.analysis.tradeoff import tradeoff_points
-    from repro.core import FastWithRelabelingSimultaneous
+    from repro.core import (
+        CheapSimultaneous,
+        FastSimultaneous,
+        FastWithRelabelingSimultaneous,
+    )
+    from repro.exploration import best_exploration
 
     graph = build_graph("ring", args.size)
     exploration = best_exploration(graph)
@@ -179,6 +199,7 @@ def command_tradeoff(args: argparse.Namespace) -> int:
 
 
 def command_explore(args: argparse.Namespace) -> int:
+    from repro.exploration import KnowledgeModel, best_exploration
     from repro.graphs.families import standard_test_suite
 
     table = Table(
@@ -225,6 +246,18 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep")
     common(sweep_parser)
     sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="process-pool workers (default 1 = serial)")
+    sweep_parser.add_argument("--shards", type=int, default=None,
+                              help="override the shard count (default 16)")
+    cache_group = sweep_parser.add_mutually_exclusive_group()
+    cache_group.add_argument("--cache", dest="no_cache", action="store_false",
+                             help="reuse/store shards in the run store (default)")
+    cache_group.add_argument("--no-cache", dest="no_cache", action="store_true",
+                             help="bypass the run store entirely")
+    sweep_parser.set_defaults(no_cache=False)
+    sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                              help=f"run-store directory (default {DEFAULT_CACHE_DIR})")
     sweep_parser.set_defaults(func=command_sweep)
 
     certify_parser = sub.add_parser("certify", help="lower-bound certificate")

@@ -1,0 +1,113 @@
+"""Shard planning and the executor layer (serial and process-pool).
+
+Shard boundaries are a function of the configuration-space size only --
+*not* of the worker count -- so a sweep cached by a serial run is hit by a
+parallel rerun and vice versa, and any worker count replays the same
+shards.  Executors yield shard reports as they complete (the parallel one
+out of order); callers that need determinism get it from
+:func:`repro.runtime.report.merge_reports`, which is order-insensitive.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Protocol, Sequence
+
+from repro.runtime.report import ShardReport
+from repro.runtime.spec import JobSpec
+from repro.runtime.worker import run_shard
+
+#: Default number of shards per sweep.  Fixed (rather than derived from
+#: the worker count) so cache entries survive ``--workers`` changes, and
+#: large enough to keep a typical pool busy with work-stealing slack.
+DEFAULT_SHARD_COUNT = 16
+
+
+def plan_shards(
+    total: int,
+    shard_count: int | None = None,
+    shard_size: int | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into contiguous shard bounds.
+
+    With ``shard_size`` set, chunks of that size are cut; otherwise the
+    space is split into ``shard_count`` (default 16) near-equal parts,
+    never producing an empty shard.
+    """
+    if total < 0:
+        raise ValueError(f"configuration-space size must be >= 0, got {total}")
+    if total == 0:
+        return []
+    if shard_size is not None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        return [(lo, min(lo + shard_size, total)) for lo in range(0, total, shard_size)]
+    count = min(total, shard_count if shard_count is not None else DEFAULT_SHARD_COUNT)
+    if count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {count}")
+    base, extra = divmod(total, count)
+    bounds = []
+    lo = 0
+    for i in range(count):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class Executor(Protocol):
+    """Anything that can turn shard specs into shard reports."""
+
+    def map_shards(self, specs: Sequence[JobSpec]) -> Iterator[ShardReport]:
+        ...
+
+
+class SerialExecutor:
+    """Run shards in-process, one after another, in submission order."""
+
+    workers = 1
+
+    def map_shards(self, specs: Sequence[JobSpec]) -> Iterator[ShardReport]:
+        for spec in specs:
+            yield run_shard(spec)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan shards out to a ``ProcessPoolExecutor``.
+
+    Reports are yielded as shards finish, so a caller persisting them to
+    the run store checkpoints continuously -- an interrupted run loses at
+    most the in-flight shards.  With one worker (or one shard) it degrades
+    to the serial path rather than paying pool overhead.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+
+    def map_shards(self, specs: Sequence[JobSpec]) -> Iterator[ShardReport]:
+        specs = list(specs)
+        if self.workers == 1 or len(specs) <= 1:
+            yield from SerialExecutor().map_shards(specs)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
+            pending = {pool.submit(run_shard, spec) for spec in specs}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def make_executor(workers: int | None) -> "SerialExecutor | ParallelExecutor":
+    """The conventional mapping from a ``--workers`` flag to an executor."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

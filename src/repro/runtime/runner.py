@@ -1,0 +1,90 @@
+"""The high-level entry point: plan, consult the store, execute, merge.
+
+:func:`execute_job` is what the analysis layer and the CLI call.  It
+plans shard bounds from the configuration-space size, looks completed
+shards up in the run store (if one is given), hands only the missing
+shards to the executor, persists each fresh report as it arrives, and
+merges everything into one deterministic report with cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.runtime.executor import Executor, SerialExecutor, plan_shards
+from repro.runtime.report import MergedReport, merge_reports
+from repro.runtime.spec import JobSpec
+from repro.runtime.store import RunStore
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """How a run's shards were obtained."""
+
+    sweep_key: str
+    shards_total: int
+    shards_cached: int
+    shards_executed: int
+    executions: int
+
+    @property
+    def fully_cached(self) -> bool:
+        return self.shards_total > 0 and self.shards_cached == self.shards_total
+
+    def summary(self) -> str:
+        return (
+            f"{self.shards_total} shards: {self.shards_cached} cached, "
+            f"{self.shards_executed} executed "
+            f"({self.executions} simulations total; run {self.sweep_key[:12]})"
+        )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    report: MergedReport
+    stats: RunStats
+
+
+def execute_job(
+    spec: JobSpec,
+    executor: Executor | None = None,
+    store: RunStore | None = None,
+    shard_count: int | None = None,
+    shard_size: int | None = None,
+    graph: PortLabeledGraph | None = None,
+) -> RunOutcome:
+    """Run a whole sweep, reusing any shards the store already holds.
+
+    ``spec.shard`` is ignored (the runner owns sharding); pass the sweep
+    spec.  Cached shards are reused only when their bounds match the
+    current plan, so changing ``shard_count``/``shard_size`` safely
+    re-executes rather than merging mismatched slices.  ``graph`` may be
+    passed when the caller has already built ``spec.graph`` (it is only
+    used to size the configuration space).
+    """
+    spec = spec.sweep_spec()
+    executor = executor if executor is not None else SerialExecutor()
+    graph = graph if graph is not None else spec.graph.build()
+    total = spec.config_space_size(graph)
+    bounds = plan_shards(total, shard_count=shard_count, shard_size=shard_size)
+
+    known = store.load(spec) if store is not None else {}
+    cached = [known[b] for b in bounds if b in known]
+    missing = [spec.shard_spec(lo, hi) for (lo, hi) in bounds if (lo, hi) not in known]
+
+    fresh = []
+    for report in executor.map_shards(missing):
+        if store is not None:
+            store.append(spec, report)
+        fresh.append(report)
+
+    merged = merge_reports(cached + fresh)
+    stats = RunStats(
+        sweep_key=spec.key(),
+        shards_total=len(bounds),
+        shards_cached=len(cached),
+        shards_executed=len(fresh),
+        executions=merged.executions,
+    )
+    return RunOutcome(report=merged, stats=stats)

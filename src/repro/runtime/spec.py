@@ -1,0 +1,285 @@
+"""Serializable job specifications for the parallel experiment runtime.
+
+A worst-case sweep is described *by value*: the algorithm as a name plus
+parameters, the graph as a family descriptor, and the adversarial grid as
+delays / label pairs / start policy.  Worker processes rebuild the actual
+objects from the description, so a :class:`JobSpec` can be pickled to a
+pool, serialized to JSON for the run store, and hashed into a stable
+content address.
+
+The configuration space of a job is totally ordered (the enumeration order
+of :func:`repro.sim.adversary.configurations`); a *shard* is a contiguous
+slice ``[lo, hi)`` of that order.  Each configuration therefore has a
+global index, which downstream merge logic uses for tie-breaking so that
+sharded results are bit-identical to a serial enumeration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, Mapping
+
+from repro.core.base import RendezvousAlgorithm
+from repro.core.cheap import Cheap, CheapSimultaneous
+from repro.core.fast import Fast, FastSimultaneous
+from repro.core.fast_relabel import FastWithRelabeling, FastWithRelabelingSimultaneous
+from repro.exploration.registry import KnowledgeModel, best_exploration
+from repro.graphs import families
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.sim.adversary import Configuration, all_label_pairs, configurations
+
+#: Graph families constructible from a flat parameter mapping.
+GRAPH_BUILDERS = {
+    "ring": families.oriented_ring,
+    "path": families.path_graph,
+    "star": families.star_graph,
+    "complete": families.complete_graph,
+    "tree": families.full_binary_tree,
+    "hypercube": families.hypercube,
+    "torus": families.torus_grid,
+    "lollipop": families.lollipop,
+    "circulant": families.circulant_graph,
+    "complete-bipartite": families.complete_bipartite,
+    "petersen": families.petersen_graph,
+}
+
+#: Algorithm constructors by CLI name; ``fwr`` variants also take a weight.
+ALGORITHM_BUILDERS = {
+    "cheap": Cheap,
+    "cheap-sim": CheapSimultaneous,
+    "fast": Fast,
+    "fast-sim": FastSimultaneous,
+    "fwr": FastWithRelabeling,
+    "fwr-sim": FastWithRelabelingSimultaneous,
+}
+
+_WEIGHTED_ALGORITHMS = ("fwr", "fwr-sim")
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON form used for hashing and byte-identity checks."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _content_key(payload: Mapping[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph family name plus the keyword parameters to rebuild it.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so instances
+    are hashable and have a unique canonical form.  Use :meth:`make` to
+    construct one from keyword arguments.
+    """
+
+    family: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, family: str, **params: Any) -> "GraphSpec":
+        return cls(family, tuple(sorted((k, _freeze(v)) for k, v in params.items())))
+
+    def build(self) -> PortLabeledGraph:
+        if self.family not in GRAPH_BUILDERS:
+            raise ValueError(
+                f"unknown graph family {self.family!r}; "
+                f"choose from {sorted(GRAPH_BUILDERS)}"
+            )
+        kwargs = {name: _thaw(value) for name, value in self.params}
+        return GRAPH_BUILDERS[self.family](**kwargs)
+
+    @property
+    def label(self) -> str:
+        """Short display name, e.g. ``ring(n=16)``."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}({inner})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"family": self.family, "params": {k: _thaw(v) for k, v in self.params}}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GraphSpec":
+        return cls.make(payload["family"], **payload.get("params", {}))
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """An algorithm name plus the parameters to rebuild it on a graph.
+
+    The exploration procedure is *derived* (via
+    :func:`repro.exploration.registry.best_exploration` under
+    ``knowledge``), not serialized: it is a deterministic function of the
+    graph, and rebuilding it in the worker keeps the spec small.
+    """
+
+    name: str
+    label_space: int
+    weight: int = 2
+    knowledge: str = KnowledgeModel.MAP_WITH_POSITION.value
+
+    def __post_init__(self) -> None:
+        # Only the fwr variants consume the weight; pin it to the default
+        # elsewhere so e.g. Cheap(weight=3) and Cheap(weight=2) are equal,
+        # hash alike, and share one run-store entry.
+        if self.name not in _WEIGHTED_ALGORITHMS and self.weight != 2:
+            object.__setattr__(self, "weight", 2)
+
+    def build(self, graph: PortLabeledGraph) -> RendezvousAlgorithm:
+        if self.name not in ALGORITHM_BUILDERS:
+            raise ValueError(
+                f"unknown algorithm {self.name!r}; "
+                f"choose from {sorted(ALGORITHM_BUILDERS)}"
+            )
+        exploration = best_exploration(graph, KnowledgeModel(self.knowledge))
+        builder = ALGORITHM_BUILDERS[self.name]
+        if self.name in _WEIGHTED_ALGORITHMS:
+            return builder(exploration, self.label_space, self.weight)
+        return builder(exploration, self.label_space)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "label_space": self.label_space,
+            "weight": self.weight,
+            "knowledge": self.knowledge,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AlgorithmSpec":
+        return cls(
+            name=payload["name"],
+            label_space=payload["label_space"],
+            weight=payload.get("weight", 2),
+            knowledge=payload.get("knowledge", KnowledgeModel.MAP_WITH_POSITION.value),
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of adversary-search work, serializable by value.
+
+    ``shard=None`` describes the whole sweep; ``shard=(lo, hi)`` restricts
+    it to the configurations with global indices in ``[lo, hi)``.
+    ``horizon=None`` means each execution's round budget is derived from
+    the algorithm's own schedule (``delay + max schedule length``), which
+    is how :func:`repro.analysis.sweep.worst_case_sweep` runs.
+    """
+
+    algorithm: AlgorithmSpec
+    graph: GraphSpec
+    delays: tuple[int, ...] = (0,)
+    label_pairs: tuple[tuple[int, int], ...] | None = None
+    fix_first_start: bool = False
+    presence: str = "from-start"
+    horizon: int | None = None
+    shard: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Shard algebra
+    # ------------------------------------------------------------------
+
+    def sweep_spec(self) -> "JobSpec":
+        """The whole-sweep spec this shard belongs to."""
+        return replace(self, shard=None) if self.shard is not None else self
+
+    def shard_spec(self, lo: int, hi: int) -> "JobSpec":
+        if not 0 <= lo <= hi:
+            raise ValueError(f"invalid shard bounds [{lo}, {hi})")
+        return replace(self, shard=(lo, hi))
+
+    # ------------------------------------------------------------------
+    # Configuration space
+    # ------------------------------------------------------------------
+
+    def resolved_label_pairs(self) -> tuple[tuple[int, int], ...]:
+        if self.label_pairs is not None:
+            return self.label_pairs
+        return tuple(all_label_pairs(self.algorithm.label_space))
+
+    def config_space_size(self, graph: PortLabeledGraph | None = None) -> int:
+        """Total number of configurations, without enumerating them."""
+        graph = graph if graph is not None else self.graph.build()
+        n = graph.num_nodes
+        start_pairs = (n - 1) if self.fix_first_start else n * (n - 1)
+        return len(self.resolved_label_pairs()) * start_pairs * len(self.delays)
+
+    def iter_configs(self, graph: PortLabeledGraph) -> Iterator[Configuration]:
+        """All configurations in the global (shard-index) order."""
+        return configurations(
+            graph,
+            self.resolved_label_pairs(),
+            delays=self.delays,
+            fix_first_start=self.fix_first_start,
+        )
+
+    def iter_shard(
+        self, graph: PortLabeledGraph
+    ) -> Iterator[tuple[int, Configuration]]:
+        """The shard's ``(global_index, configuration)`` pairs."""
+        lo, hi = self.shard if self.shard is not None else (0, None)
+        sliced = itertools.islice(self.iter_configs(graph), lo, hi)
+        return ((lo + offset, config) for offset, config in enumerate(sliced))
+
+    # ------------------------------------------------------------------
+    # Serialization and content addressing
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm.to_dict(),
+            "graph": self.graph.to_dict(),
+            "delays": list(self.delays),
+            "label_pairs": (
+                None
+                if self.label_pairs is None
+                else [list(pair) for pair in self.label_pairs]
+            ),
+            "fix_first_start": self.fix_first_start,
+            "presence": self.presence,
+            "horizon": self.horizon,
+            "shard": None if self.shard is None else list(self.shard),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        label_pairs = payload.get("label_pairs")
+        shard = payload.get("shard")
+        return cls(
+            algorithm=AlgorithmSpec.from_dict(payload["algorithm"]),
+            graph=GraphSpec.from_dict(payload["graph"]),
+            delays=tuple(payload["delays"]),
+            label_pairs=(
+                None
+                if label_pairs is None
+                else tuple((a, b) for a, b in label_pairs)
+            ),
+            fix_first_start=payload["fix_first_start"],
+            presence=payload.get("presence", "from-start"),
+            horizon=payload.get("horizon"),
+            shard=None if shard is None else (shard[0], shard[1]),
+        )
+
+    def key(self) -> str:
+        """Content hash of this spec (including the shard slice, if any)."""
+        return _content_key(self.to_dict())
+
+    def sweep_key(self) -> str:
+        """Content hash of the whole sweep this spec belongs to."""
+        return self.sweep_spec().key()

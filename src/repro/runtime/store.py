@@ -1,0 +1,115 @@
+"""Content-addressed on-disk store of completed shards.
+
+Layout (under ``.repro_cache/`` by default)::
+
+    .repro_cache/
+      runs/
+        <sweep_key>.jsonl     one file per sweep (sha256 of its JobSpec)
+
+Each file starts with a ``job`` header line carrying the full spec (for
+humans and forensics -- the filename alone already identifies the sweep)
+followed by one ``shard`` line per completed shard.  Records are written
+with a single ``O_APPEND`` syscall each, so concurrent sweeps of the same
+spec interleave at record granularity rather than tearing each other's
+lines, and a process killed mid-write leaves at most one truncated
+trailing line.  :meth:`RunStore.load` skips undecodable lines (re-running
+at most the affected shards) instead of failing.  The store never
+invalidates -- a spec hash names an immutable computation -- so
+:meth:`clear` (or deleting the directory) is the only eviction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.runtime.report import ShardReport
+from repro.runtime.spec import JobSpec
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_FORMAT_VERSION = 1
+
+
+class RunStore:
+    """A directory of append-only JSONL shard records, keyed by spec hash."""
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """The JSONL file holding the given spec's sweep."""
+        return self.root / "runs" / f"{spec.sweep_key()}.jsonl"
+
+    def load(self, spec: JobSpec) -> dict[tuple[int, int], ShardReport]:
+        """All completed shards of the spec's sweep, keyed by shard bounds.
+
+        Undecodable lines -- a truncated trailing line after an
+        interruption, or (pathologically) a torn line from a concurrent
+        writer on a filesystem without atomic appends -- are skipped, not
+        fatal: the affected shards simply re-execute.
+        """
+        path = self.path_for(spec)
+        if not path.exists():
+            return {}
+        shards: dict[tuple[int, int], ShardReport] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload: dict[str, Any] = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if payload.get("kind") != "shard":
+                    continue
+                report = ShardReport.from_dict(payload["report"])
+                shards[report.shard] = report
+        return shards
+
+    def append(self, spec: JobSpec, report: ShardReport) -> None:
+        """Persist one completed shard (writing the header on first use).
+
+        Each record goes out as one ``O_APPEND`` write, which POSIX makes
+        atomic with respect to other appenders, so two sweeps of the same
+        spec running at once cannot tear each other's lines (at worst the
+        header or a shard appears twice; :meth:`load` handles both).
+        """
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = []
+        if not path.exists():
+            lines.append(
+                {
+                    "kind": "job",
+                    "version": _FORMAT_VERSION,
+                    "spec": spec.sweep_spec().to_dict(),
+                }
+            )
+        lines.append({"kind": "shard", "report": report.to_dict()})
+        payload = "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def clear(self) -> int:
+        """Delete every stored run; returns the number of files removed."""
+        runs = self.root / "runs"
+        if not runs.exists():
+            return 0
+        removed = 0
+        for path in runs.glob("*.jsonl"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"RunStore(root={str(self.root)!r})"

@@ -1,0 +1,95 @@
+"""The function a worker process executes: one shard of adversary search.
+
+:func:`run_shard` is deliberately a module-level function of one picklable
+argument so it can be submitted to a ``ProcessPoolExecutor`` unchanged.
+Graphs and algorithms are rebuilt from the spec on first use and memoised
+per process (pool workers are long-lived, so a worker pays the
+construction cost once per distinct job, not once per shard).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.base import RendezvousAlgorithm
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport
+from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
+from repro.sim.adversary import default_horizon
+from repro.sim.simulator import PresenceModel, simulate_rendezvous
+
+
+@lru_cache(maxsize=16)
+def _materialize(
+    graph_spec: GraphSpec, algorithm_spec: AlgorithmSpec
+) -> tuple[PortLabeledGraph, RendezvousAlgorithm]:
+    graph = graph_spec.build()
+    return graph, algorithm_spec.build(graph)
+
+
+def run_shard(spec: JobSpec) -> ShardReport:
+    """Run every configuration in the spec's shard and keep the extremes.
+
+    Semantically identical to
+    :func:`repro.sim.adversary.worst_case_search` restricted to the slice:
+    strict-``>`` updates walking the shard in enumeration order, so the
+    record kept per metric is the one with the lowest global index among
+    maximisers -- the invariant :func:`repro.runtime.report.merge_reports`
+    relies on.
+    """
+    graph, algorithm = _materialize(spec.graph, spec.algorithm)
+    presence = PresenceModel(spec.presence)
+    lo, hi = spec.shard if spec.shard is not None else (0, spec.config_space_size(graph))
+
+    worst_time: ExtremeSummary | None = None
+    worst_cost: ExtremeSummary | None = None
+    failures: list[ConfigRef] = []
+    executions = 0
+
+    for index, config in spec.iter_shard(graph):
+        horizon = (
+            spec.horizon
+            if spec.horizon is not None
+            else default_horizon(algorithm, config)
+        )
+        result = simulate_rendezvous(
+            graph,
+            algorithm,
+            labels=config.labels,
+            starts=config.starts,
+            delay=config.delay,
+            max_rounds=horizon,
+            presence=presence,
+        )
+        executions += 1
+        if not result.met:
+            failures.append(
+                ConfigRef(
+                    index=index,
+                    labels=config.labels,
+                    starts=config.starts,
+                    delay=config.delay,
+                )
+            )
+            continue
+        assert result.time is not None
+        summary = ExtremeSummary(
+            index=index,
+            labels=config.labels,
+            starts=config.starts,
+            delay=config.delay,
+            time=result.time,
+            cost=result.cost,
+        )
+        if worst_time is None or summary.time > worst_time.time:
+            worst_time = summary
+        if worst_cost is None or summary.cost > worst_cost.cost:
+            worst_cost = summary
+
+    return ShardReport(
+        shard=(lo, hi),
+        executions=executions,
+        worst_time=worst_time,
+        worst_cost=worst_cost,
+        failures=tuple(failures),
+    )

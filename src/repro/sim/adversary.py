@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.metrics import RendezvousResult
@@ -109,6 +109,21 @@ def configurations(
         for starts in start_pairs:
             for delay in delays:
                 yield Configuration(labels=labels, starts=starts, delay=delay)
+
+
+def default_horizon(algorithm: Any, config: Configuration) -> int:
+    """The standard round budget for one configuration.
+
+    The later agent's schedule end plus the wake-up delay -- a correct
+    algorithm must meet before both schedules run out.  Shared by the
+    serial sweep and the runtime workers so the two paths can never
+    disagree on ``max_rounds``.  ``algorithm`` is anything exposing
+    ``schedule_length`` (every :mod:`repro.core` algorithm does).
+    """
+    return config.delay + max(
+        algorithm.schedule_length(config.labels[0]),
+        algorithm.schedule_length(config.labels[1]),
+    )
 
 
 def worst_case_search(

@@ -1,0 +1,153 @@
+"""Shard planning, executors, and serial/parallel determinism.
+
+The crown-jewel property: however the configuration space is sharded and
+however many workers execute the shards, the merged report is
+byte-identical (canonical JSON) to the serial in-process enumeration.
+"""
+
+import pytest
+
+from repro.analysis.sweep import worst_case_sweep
+from repro.runtime import (
+    AlgorithmSpec,
+    ExtremeSummary,
+    GraphSpec,
+    JobSpec,
+    MergedReport,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardReport,
+    canonical_json,
+    execute_job,
+    merge_reports,
+    plan_shards,
+    run_shard,
+)
+
+RING_JOB = JobSpec(
+    algorithm=AlgorithmSpec("fast", 3),
+    graph=GraphSpec.make("ring", n=8),
+    delays=(0, 1),
+    fix_first_start=True,
+)
+TREE_JOB = JobSpec(
+    algorithm=AlgorithmSpec("fast-sim", 3),
+    graph=GraphSpec.make("tree", depth=2),
+    delays=(0,),
+    fix_first_start=False,
+)
+
+
+class TestPlanShards:
+    def test_covers_the_space_contiguously(self):
+        bounds = plan_shards(103, shard_count=16)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 103
+        assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1 and min(sizes) >= 1
+
+    def test_never_plans_more_shards_than_configs(self):
+        assert len(plan_shards(3, shard_count=16)) == 3
+        assert plan_shards(0) == []
+
+    def test_shard_size_override(self):
+        assert plan_shards(10, shard_size=4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1)
+        with pytest.raises(ValueError):
+            plan_shards(10, shard_size=0)
+
+
+class TestMerge:
+    def summary(self, index, value):
+        return ExtremeSummary(
+            index=index, labels=(1, 2), starts=(0, 1), delay=0,
+            time=value, cost=value,
+        )
+
+    def test_ties_break_toward_the_lowest_global_index(self):
+        early = ShardReport((0, 10), 10, self.summary(3, 7), self.summary(3, 7))
+        late = ShardReport((10, 20), 10, self.summary(15, 7), self.summary(15, 7))
+        for order in ([early, late], [late, early]):
+            merged = merge_reports(order)
+            assert merged.worst_time.index == 3
+            assert merged.worst_cost.index == 3
+
+    def test_higher_value_beats_lower_index(self):
+        low = ShardReport((0, 10), 10, self.summary(0, 5), self.summary(0, 5))
+        high = ShardReport((10, 20), 10, self.summary(19, 6), self.summary(19, 6))
+        merged = merge_reports([low, high])
+        assert merged.worst_time.index == 19 and merged.max_time == 6
+
+    def test_merge_is_arrival_order_insensitive(self):
+        graph = RING_JOB.graph.build()
+        total = RING_JOB.config_space_size(graph)
+        shards = [RING_JOB.shard_spec(lo, hi) for lo, hi in plan_shards(total, 5)]
+        reports = [run_shard(s) for s in shards]
+        forward = merge_reports(reports)
+        backward = merge_reports(reversed(reports))
+        assert canonical_json(forward.to_dict()) == canonical_json(backward.to_dict())
+
+    def test_round_trip(self):
+        merged = merge_reports(
+            [ShardReport((0, 5), 5, self.summary(2, 9), self.summary(4, 3))]
+        )
+        assert MergedReport.from_dict(merged.to_dict()) == merged
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("job", [RING_JOB, TREE_JOB], ids=["ring", "tree"])
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_parallel_is_byte_identical_to_serial(self, job, workers):
+        serial = execute_job(job, executor=SerialExecutor())
+        parallel = execute_job(job, executor=ParallelExecutor(workers))
+        assert canonical_json(serial.report.to_dict()) == canonical_json(
+            parallel.report.to_dict()
+        )
+        assert serial.report.executions == job.config_space_size()
+
+    @pytest.mark.parametrize("job", [RING_JOB, TREE_JOB], ids=["ring", "tree"])
+    def test_runtime_matches_the_in_process_adversary(self, job):
+        graph = job.graph.build()
+        algorithm = job.algorithm.build(graph)
+        legacy = worst_case_sweep(
+            algorithm,
+            graph,
+            "g",
+            delays=job.delays,
+            fix_first_start=job.fix_first_start,
+        )
+        merged = execute_job(job, executor=ParallelExecutor(2)).report
+        assert merged.max_time == legacy.max_time
+        assert merged.max_cost == legacy.max_cost
+        assert merged.worst_time.config == legacy.worst_time_config
+        assert merged.worst_cost.config == legacy.worst_cost_config
+        assert merged.executions == legacy.executions
+
+    def test_sharding_granularity_does_not_change_the_result(self):
+        coarse = execute_job(RING_JOB, shard_count=2).report
+        fine = execute_job(RING_JOB, shard_count=13).report
+        assert coarse.shards != fine.shards
+        payload = coarse.to_dict()
+        payload["shards"] = fine.shards
+        assert canonical_json(payload) == canonical_json(fine.to_dict())
+
+
+class TestExecutors:
+    def test_single_worker_degrades_to_serial(self):
+        assert ParallelExecutor(1).workers == 1
+        reports = list(
+            ParallelExecutor(1).map_shards([RING_JOB.shard_spec(0, 4)])
+        )
+        assert reports[0].executions == 4
+
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+    def test_whole_sweep_spec_runs_unsharded(self):
+        report = run_shard(RING_JOB)
+        assert report.shard == (0, RING_JOB.config_space_size())
+        assert report.executions == report.shard[1]

@@ -40,12 +40,37 @@ class TestCommands:
     def test_sweep_command(self, capsys):
         exit_code = main(
             ["sweep", "--algorithm", "cheap", "--size", "9",
-             "--label-space", "4", "--delays", "0", "5"]
+             "--label-space", "4", "--delays", "0", "5", "--no-cache"]
         )
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "Worst-case sweep" in output
         assert "paper bound" in output
+        assert "cache=off" in output
+
+    def test_sweep_with_workers_matches_serial(self, capsys):
+        args = ["sweep", "--algorithm", "fast-sim", "--size", "8",
+                "--label-space", "4", "--no-cache"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def rows(output):
+            return [l for l in output.splitlines()
+                    if l.startswith(("time", "cost", "worst"))]
+
+        assert rows(serial) == rows(parallel)
+
+    def test_sweep_cache_roundtrip(self, capsys, tmp_path):
+        args = ["sweep", "--algorithm", "fast-sim", "--size", "8",
+                "--label-space", "4", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 cached" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed" in second and "16 cached" in second
 
     def test_certify_31(self, capsys):
         exit_code = main(

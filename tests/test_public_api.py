@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.lower_bounds",
     "repro.baselines",
     "repro.analysis",
+    "repro.runtime",
 ]
 
 
