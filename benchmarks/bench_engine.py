@@ -79,8 +79,8 @@ def test_engine_runtime_parallel_speedup(benchmark, report):
     serial = execute_job(RUNTIME_JOB, executor=SerialExecutor())
     serial_seconds = time.perf_counter() - serial_started
 
-    executor = ParallelExecutor(4)
-    parallel = benchmark(lambda: execute_job(RUNTIME_JOB, executor=executor))
+    with ParallelExecutor(4) as executor:
+        parallel = benchmark(lambda: execute_job(RUNTIME_JOB, executor=executor))
     assert canonical_json(parallel.report.to_dict()) == canonical_json(
         serial.report.to_dict()
     )

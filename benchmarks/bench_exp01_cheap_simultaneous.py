@@ -6,7 +6,7 @@ happens by round ``l E`` at the cost of (at most) a single exploration --
 clockwise ring walk does.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table, format_ratio
 from repro.core.cheap import CheapSimultaneous
 from repro.exploration import best_exploration
@@ -32,7 +32,7 @@ def run_experiment():
         exploration = best_exploration(graph)
         for label_space in LABEL_SPACES:
             algorithm = CheapSimultaneous(exploration, label_space)
-            sweep = worst_case_sweep(
+            sweep = sweep_objects(
                 algorithm, graph, name, fix_first_start=transitive
             )
             rows.append((name, label_space, exploration.budget, sweep))
@@ -65,5 +65,5 @@ def test_exp01_cheap_simultaneous(benchmark, report):
     exploration = best_exploration(ring)
     algorithm = CheapSimultaneous(exploration, 4)
     benchmark(
-        lambda: worst_case_sweep(algorithm, ring, "ring-12", fix_first_start=True)
+        lambda: sweep_objects(algorithm, ring, "ring-12", fix_first_start=True)
     )

@@ -4,7 +4,7 @@ Claim: cost at most ``3E`` and time at most ``(2l + 3)E`` (worst case
 ``(2L + 1)E``), for every wake-up delay of the second agent.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table, format_ratio
 from repro.core.cheap import Cheap
 from repro.exploration import best_exploration
@@ -23,7 +23,7 @@ def run_experiment():
         budget = exploration.budget
         algorithm = Cheap(exploration, LABEL_SPACE)
         for delay in (0, budget // 2, budget, 2 * budget):
-            sweep = worst_case_sweep(
+            sweep = sweep_objects(
                 algorithm, graph, name, delays=(delay,), fix_first_start=transitive
             )
             rows.append((name, budget, delay, sweep))
@@ -56,7 +56,7 @@ def test_exp02_cheap_general(benchmark, report):
     ring = oriented_ring(12)
     algorithm = Cheap(best_exploration(ring), LABEL_SPACE)
     benchmark(
-        lambda: worst_case_sweep(
+        lambda: sweep_objects(
             algorithm, ring, "ring-12", delays=(6,), fix_first_start=True
         )
     )

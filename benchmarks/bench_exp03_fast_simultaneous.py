@@ -4,7 +4,7 @@ Claim: time at most ``(2 floor(log(L-1)) + 4) E`` -- logarithmic in the
 label space, the paper's "fast end" of the tradeoff.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table, format_ratio
 from repro.core.fast import FastSimultaneous
 from repro.exploration.ring import RingExploration
@@ -20,7 +20,7 @@ def run_experiment():
     rows = []
     for label_space in LABEL_SPACES:
         algorithm = FastSimultaneous(exploration, label_space)
-        sweep = worst_case_sweep(
+        sweep = sweep_objects(
             algorithm, ring, f"ring-{RING_SIZE}", fix_first_start=True
         )
         rows.append((label_space, sweep))
@@ -53,5 +53,5 @@ def test_exp03_fast_simultaneous(benchmark, report):
     ring = oriented_ring(RING_SIZE)
     algorithm = FastSimultaneous(RingExploration(RING_SIZE), 8)
     benchmark(
-        lambda: worst_case_sweep(algorithm, ring, "ring-12", fix_first_start=True)
+        lambda: sweep_objects(algorithm, ring, "ring-12", fix_first_start=True)
     )

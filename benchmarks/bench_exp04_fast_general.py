@@ -4,7 +4,7 @@ Claim: time at most ``(4 log(L-1) + 9) E`` and cost at most twice that,
 for every wake-up delay.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table, format_ratio
 from repro.core.fast import Fast
 from repro.exploration.ring import RingExploration
@@ -21,7 +21,7 @@ def run_experiment():
     for label_space in (4, 16):
         algorithm = Fast(exploration, label_space)
         for delay in (0, budget, 3 * budget):
-            sweep = worst_case_sweep(
+            sweep = sweep_objects(
                 algorithm, ring, f"ring-{RING_SIZE}", delays=(delay,),
                 fix_first_start=True,
             )
@@ -50,7 +50,7 @@ def test_exp04_fast_general(benchmark, report):
     ring = oriented_ring(RING_SIZE)
     algorithm = Fast(RingExploration(RING_SIZE), 8)
     benchmark(
-        lambda: worst_case_sweep(
+        lambda: sweep_objects(
             algorithm, ring, "ring-12", delays=(11,), fix_first_start=True
         )
     )

@@ -8,7 +8,7 @@ The sweep uses adversarial label pairs (lex-adjacent ranks and extremes)
 because exhaustive pair enumeration is infeasible at the larger ``L``.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table, format_ratio
 from repro.core.fast_relabel import FastWithRelabelingSimultaneous
 from repro.core.relabeling import smallest_t
@@ -38,7 +38,7 @@ def run_experiment():
             algorithm = FastWithRelabelingSimultaneous(
                 exploration, label_space, weight
             )
-            sweep = worst_case_sweep(
+            sweep = sweep_objects(
                 algorithm, ring, f"ring-{RING_SIZE}",
                 label_pairs=adversarial_pairs(label_space),
                 fix_first_start=True,
@@ -82,7 +82,7 @@ def test_exp05_fast_relabeling(benchmark, report):
     ring = oriented_ring(RING_SIZE)
     algorithm = FastWithRelabelingSimultaneous(RingExploration(RING_SIZE), 64, 2)
     benchmark(
-        lambda: worst_case_sweep(
+        lambda: sweep_objects(
             algorithm, ring, "ring-12", label_pairs=adversarial_pairs(64),
             fix_first_start=True,
         )

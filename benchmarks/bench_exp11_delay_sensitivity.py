@@ -6,7 +6,7 @@ within ``E`` rounds); and moving to the Conclusion's alternative
 "parachute" presence model leaves the complexities unchanged.
 """
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tables import Table
 from repro.core.cheap import Cheap
 from repro.core.fast import Fast
@@ -27,7 +27,7 @@ def run_experiment():
     rows = []
     for algorithm in (Cheap(exploration, LABEL_SPACE), Fast(exploration, LABEL_SPACE)):
         for delay in delays:
-            sweep = worst_case_sweep(
+            sweep = sweep_objects(
                 algorithm, ring, f"ring-{RING_SIZE}", delays=(delay,),
                 fix_first_start=True,
             )
@@ -96,7 +96,7 @@ def test_exp11_delay_sensitivity(benchmark, report):
     ring = oriented_ring(RING_SIZE)
     algorithm = Fast(RingExploration(RING_SIZE), LABEL_SPACE)
     benchmark(
-        lambda: worst_case_sweep(
+        lambda: sweep_objects(
             algorithm, ring, "ring-12", delays=(11,), fix_first_start=True
         )
     )

@@ -15,7 +15,7 @@ the gap closes.
 """
 
 from repro.analysis.replay import replay_with_timeline
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.core import FastSimultaneous
 from repro.core.labels import modified_label
 from repro.exploration import RingExploration
@@ -29,7 +29,7 @@ def main() -> None:
     ring = oriented_ring(RING_SIZE)
     algorithm = FastSimultaneous(RingExploration(RING_SIZE), LABEL_SPACE)
 
-    row = worst_case_sweep(
+    row = sweep_objects(
         algorithm, ring, f"ring-{RING_SIZE}", fix_first_start=True
     )
     config = row.worst_time_config

@@ -9,21 +9,36 @@ Algorithm **FastWithRelabeling** (cost ``O(E)``, time ``o(EL)``), plus two
 lower bounds showing Cheap and Fast are (almost) exactly the ends of the
 time/cost tradeoff curve.
 
-Quickstart::
+Quickstart -- a scenario is plain data naming registry entries, and
+``run()`` routes it through the (serial or sharded-parallel) runtime::
 
-    from repro.graphs import oriented_ring
-    from repro.exploration import RingExploration
-    from repro.core import Fast
-    from repro.sim import simulate_rendezvous
+    from repro import Scenario
 
-    ring = oriented_ring(24)
-    algorithm = Fast(RingExploration(24), label_space=16)
-    result = simulate_rendezvous(ring, algorithm, labels=(5, 12), starts=(0, 11))
+    scenario = Scenario(graph="ring", graph_params={"n": 24},
+                        algorithm="fast", label_space=16)
+    outcome = scenario.run()           # engine="auto"
+    row = outcome.row
+    print(row.max_time, "<=", row.time_bound)
+    print(outcome.to_json())           # canonical, machine-readable report
+
+One concrete execution instead of a worst-case sweep::
+
+    result = scenario.simulate(labels=(5, 12), starts=(0, 11))
     print(result.summary)
 
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
+from repro.api import (
+    Scenario,
+    ScenarioRun,
+    Sweep,
+    SweepRow,
+    SweepRun,
+    canonical_json,
+    run_job,
+    sweep_objects,
+)
 from repro.core import (
     Cheap,
     CheapSimultaneous,
@@ -37,12 +52,22 @@ from repro.core import (
 )
 from repro.exploration import (
     ExplorationProcedure,
+    KnowledgeModel,
     KnownMapDFS,
     RingExploration,
     UXSExploration,
     best_exploration,
 )
 from repro.graphs import PortLabeledGraph, oriented_ring
+from repro.registry import (
+    ALGORITHMS,
+    EXPLORATIONS,
+    GRAPH_FAMILIES,
+    KNOWLEDGE_MODELS,
+    PRESENCE_MODELS,
+    Registry,
+    SpecError,
+)
 from repro.runtime import (
     AlgorithmSpec,
     GraphSpec,
@@ -60,36 +85,52 @@ from repro.sim import (
     worst_case_search,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ALGORITHMS",
     "AlgorithmSpec",
     "Cheap",
     "CheapSimultaneous",
+    "EXPLORATIONS",
     "ExplorationProcedure",
     "Fast",
     "FastSimultaneous",
     "FastWithRelabeling",
     "FastWithRelabelingSimultaneous",
+    "GRAPH_FAMILIES",
     "GraphSpec",
     "IteratedDoublingRendezvous",
     "JobSpec",
+    "KNOWLEDGE_MODELS",
+    "KnowledgeModel",
     "KnownMapDFS",
+    "PRESENCE_MODELS",
     "ParallelExecutor",
     "PortLabeledGraph",
     "PresenceModel",
+    "Registry",
     "RendezvousAlgorithm",
     "RendezvousResult",
     "RingExploration",
     "RunStore",
+    "Scenario",
+    "ScenarioRun",
     "SerialExecutor",
     "Simulator",
+    "SpecError",
+    "Sweep",
+    "SweepRow",
+    "SweepRun",
     "UXSExploration",
+    "__version__",
     "best_exploration",
     "bounds",
+    "canonical_json",
     "execute_job",
     "oriented_ring",
+    "run_job",
     "simulate_rendezvous",
+    "sweep_objects",
     "worst_case_search",
-    "__version__",
 ]

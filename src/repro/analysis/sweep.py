@@ -1,65 +1,35 @@
-"""Worst-case sweeps: the workhorse behind every benchmark table.
+"""Worst-case sweeps -- deprecated veneer over :mod:`repro.api`.
 
-A sweep takes an algorithm instance and a graph, runs the adversary over
-labels x starts x delays, and produces a :class:`SweepRow` holding the
-measured worst time/cost next to the paper's bounds and the argmax
-configurations (so every reported number can be replayed).
+Historically this module was the workhorse behind every benchmark table;
+the implementation now lives in the declarative API layer.  The two old
+entry points keep working for existing callers, with a
+``DeprecationWarning`` pointing at their replacements:
 
-Two execution paths produce identical rows:
+* :func:`worst_case_sweep`   -> :func:`repro.api.sweep_objects` (live
+  objects) or :meth:`repro.api.Scenario.run` (named scenarios);
+* :func:`worst_case_sweep_runtime` -> :meth:`repro.api.Scenario.run`
+  (or :func:`repro.api.run_job` for a raw :class:`JobSpec`).
 
-* :func:`worst_case_sweep` -- in-process, taking live objects; the
-  original serial path, still used where the caller already holds an
-  algorithm instance and the space is small;
-* :func:`worst_case_sweep_runtime` -- spec-based, delegating to
-  :mod:`repro.runtime`: the space is sharded, shards run on an executor
-  (serial or a process pool) and completed shards are cached in the run
-  store, so repeated sweeps and interrupted runs skip finished work.
+:class:`SweepRow` itself moved to :mod:`repro.api` and is re-exported
+here unchanged.  Code *inside* ``repro`` must call the API directly --
+the CI smoke job fails on deprecation warnings originating in the
+package.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Iterable, Sequence
 
+from repro.api import SweepRow, run_job, sweep_objects
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.runtime.executor import Executor
-from repro.runtime.runner import RunStats, execute_job
+from repro.runtime.runner import RunStats
 from repro.runtime.spec import JobSpec
 from repro.runtime.store import RunStore
-from repro.sim.adversary import (
-    Configuration,
-    all_label_pairs,
-    configurations,
-    default_horizon,
-    worst_case_search,
-)
 
-
-@dataclass(frozen=True)
-class SweepRow:
-    """One sweep result: measured extremes vs. declared bounds."""
-
-    algorithm: str
-    graph: str
-    num_nodes: int
-    exploration_budget: int
-    label_space: int
-    max_time: int
-    time_bound: int
-    max_cost: int
-    cost_bound: int
-    executions: int
-    worst_time_config: Configuration
-    worst_cost_config: Configuration
-
-    @property
-    def time_within_bound(self) -> bool:
-        return self.max_time <= self.time_bound
-
-    @property
-    def cost_within_bound(self) -> bool:
-        return self.max_cost <= self.cost_bound
+__all__ = ["SweepRow", "worst_case_sweep", "worst_case_sweep_runtime"]
 
 
 def worst_case_sweep(
@@ -71,67 +41,22 @@ def worst_case_sweep(
     fix_first_start: bool = False,
     sample: int | None = None,
 ) -> SweepRow:
-    """Adversarial worst-case search for one (algorithm, graph) cell.
-
-    ``fix_first_start=True`` is only sound on vertex-transitive graphs;
-    callers assert that themselves.  Simultaneous-start-only algorithms
-    reject non-zero delays loudly rather than producing invalid rows.
-    """
-    if algorithm.requires_simultaneous_start and any(d != 0 for d in delays):
-        raise ValueError(
-            f"{algorithm.name} requires simultaneous start; delays {delays} invalid"
-        )
-    if label_pairs is None:
-        label_pairs = all_label_pairs(algorithm.label_space)
-
-    def horizon(config: Configuration) -> int:
-        return default_horizon(algorithm, config)
-
-    report = worst_case_search(
-        graph,
-        algorithm,
-        configurations(
-            graph,
-            label_pairs,
-            delays=delays,
-            fix_first_start=fix_first_start,
-        ),
-        max_rounds=horizon,
-        sample=sample,
+    """Deprecated: use :func:`repro.api.sweep_objects` (same signature)
+    or, for registry-named scenarios, :meth:`repro.api.Scenario.run`."""
+    warnings.warn(
+        "worst_case_sweep is deprecated; use repro.api.sweep_objects for live "
+        "objects or repro.api.Scenario.run() for named scenarios",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return _row_from_report(algorithm, graph, graph_name, report)
-
-
-def _row_from_report(algorithm, graph, graph_name, report) -> SweepRow:
-    """Turn a worst-case report into a :class:`SweepRow`, or raise.
-
-    Accepts both :class:`~repro.sim.adversary.WorstCaseReport` and
-    :class:`~repro.runtime.report.MergedReport` (the shared shape: argmax
-    records exposing ``.config``, plus ``failures`` and ``executions``), so
-    the serial and runtime paths cannot drift apart.
-    """
-    if report.failures:
-        first = report.failures[0]
-        raise AssertionError(
-            f"{algorithm.name} failed to meet in {len(report.failures)} "
-            f"configurations, e.g. labels={first.labels} starts={first.starts} "
-            f"delay={first.delay}"
-        )
-    if report.worst_time is None or report.worst_cost is None:
-        raise ValueError("empty configuration space: nothing to sweep")
-    return SweepRow(
-        algorithm=algorithm.name,
-        graph=graph_name,
-        num_nodes=graph.num_nodes,
-        exploration_budget=algorithm.exploration_budget,
-        label_space=algorithm.label_space,
-        max_time=report.max_time,
-        time_bound=algorithm.time_bound(),
-        max_cost=report.max_cost,
-        cost_bound=algorithm.cost_bound(),
-        executions=report.executions,
-        worst_time_config=report.worst_time.config,
-        worst_cost_config=report.worst_cost.config,
+    return sweep_objects(
+        algorithm,
+        graph,
+        graph_name,
+        delays=delays,
+        label_pairs=label_pairs,
+        fix_first_start=fix_first_start,
+        sample=sample,
     )
 
 
@@ -144,25 +69,20 @@ def worst_case_sweep_runtime(
     graph: PortLabeledGraph | None = None,
     algorithm: RendezvousAlgorithm | None = None,
 ) -> tuple[SweepRow, RunStats]:
-    """Runtime-backed worst-case sweep: sharded, parallelisable, cached.
-
-    Produces the same :class:`SweepRow` as :func:`worst_case_sweep` on the
-    equivalent live objects (the merge tie-breaking guarantees identical
-    argmax configurations), plus the :class:`~repro.runtime.runner.RunStats`
-    describing how many shards came from the store.  ``graph`` and
-    ``algorithm`` may be passed when the caller has already built them from
-    the spec, to avoid rebuilding (they must match the spec).
-    """
-    graph = graph if graph is not None else spec.graph.build()
-    algorithm = algorithm if algorithm is not None else spec.algorithm.build(graph)
-    if algorithm.requires_simultaneous_start and any(d != 0 for d in spec.delays):
-        raise ValueError(
-            f"{algorithm.name} requires simultaneous start; "
-            f"delays {spec.delays} invalid"
-        )
-    outcome = execute_job(
-        spec, executor=executor, store=store, shard_count=shard_count, graph=graph
+    """Deprecated: use :meth:`repro.api.Scenario.run` (or
+    :func:`repro.api.run_job` when you already hold a :class:`JobSpec`)."""
+    warnings.warn(
+        "worst_case_sweep_runtime is deprecated; use repro.api.Scenario.run() "
+        "or repro.api.run_job()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    name = graph_name if graph_name is not None else spec.graph.label
-    row = _row_from_report(algorithm, graph, name, outcome.report)
-    return row, outcome.stats
+    return run_job(
+        spec,
+        graph_name=graph_name,
+        executor=executor,
+        store=store,
+        shard_count=shard_count,
+        graph=graph,
+        algorithm=algorithm,
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
 
@@ -56,7 +56,7 @@ def tradeoff_points(
     points = []
     for algorithm in algorithms:
         algo_delays = (0,) if algorithm.requires_simultaneous_start else delays
-        row = worst_case_sweep(
+        row = sweep_objects(
             algorithm,
             graph,
             graph_name,

@@ -3,16 +3,23 @@
 Commands:
 
 * ``run`` -- simulate one rendezvous and print the outcome and traces;
-* ``sweep`` -- adversarial worst-case sweep of an algorithm on a graph,
-  sharded over the runtime (``--workers N`` fans shards out to a process
-  pool; completed shards are cached in ``.repro_cache/`` unless
-  ``--no-cache`` is given, so reruns and interrupted sweeps resume);
+* ``sweep`` -- adversarial worst-case sweep of a scenario (sharded over
+  the runtime: ``--workers N`` fans shards out to a process pool;
+  completed shards are cached in ``.repro_cache/`` unless ``--no-cache``
+  is given, so reruns and interrupted sweeps resume);
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
 * ``explore`` -- print the exploration budgets ``E`` for the built-in
   graph families under each knowledge model.
 
-The CLI is a thin veneer over the library; every command prints exactly
-what the corresponding API returns.
+The CLI is a thin veneer over :mod:`repro.api`: flags assemble a
+declarative :class:`~repro.api.Scenario`, the scenario runs, and the
+result prints as an ASCII table -- or, with ``--json``, as a JSON
+report.  Within that report the ``scenario`` and ``result`` blocks are
+the canonical part (byte-identical across engines and worker counts);
+the ``runtime`` block is provenance (cached-vs-executed shard counts)
+and legitimately varies between reruns of the same sweep.  Graph
+families and algorithms come straight from the registries, so a family
+registered with ``from_size`` metadata is immediately usable here.
 """
 
 from __future__ import annotations
@@ -22,48 +29,43 @@ import random
 import sys
 from typing import Sequence
 
-from repro.analysis.sweep import worst_case_sweep_runtime
+from repro.api import Scenario, canonical_json, resolve_store
 from repro.analysis.tables import Table, format_ratio, print_lines
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs import oriented_ring
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.lower_bounds import certify_theorem_31, certify_theorem_32
 from repro.lower_bounds.trim import trimmed_from_algorithm
-from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec, RunStore, make_executor
+from repro.registry import ALGORITHMS, GRAPH_FAMILIES, SpecError
+from repro.runtime import AlgorithmSpec, GraphSpec
 from repro.runtime.store import DEFAULT_CACHE_DIR
-from repro.sim import simulate_rendezvous
-
-#: Graphs on which pinning the first agent's start to node 0 loses no
-#: worst case (vertex-transitive families).
-VERTEX_TRANSITIVE = ("ring", "complete", "hypercube", "torus")
 
 
 def graph_spec(name: str, size: int) -> GraphSpec:
-    """The :class:`GraphSpec` for a named family at roughly ``size`` nodes."""
-    specs = {
-        "ring": lambda: GraphSpec.make("ring", n=size),
-        "path": lambda: GraphSpec.make("path", n=size),
-        "star": lambda: GraphSpec.make("star", n=size),
-        "complete": lambda: GraphSpec.make("complete", n=size),
-        "hypercube": lambda: GraphSpec.make(
-            "hypercube", dimension=max(1, size.bit_length() - 1)
-        ),
-        "tree": lambda: GraphSpec.make("tree", depth=max(1, size.bit_length() - 1)),
-        "torus": lambda: GraphSpec.make("torus", rows=3, cols=max(3, size // 3)),
-    }
-    if name not in specs:
-        raise SystemExit(f"unknown graph {name!r}; choose from {sorted(specs)}")
-    return specs[name]()
+    """The :class:`GraphSpec` for a named family at roughly ``size`` nodes.
+
+    The size-to-parameters heuristic is the family's ``from_size``
+    registry metadata; unknown names exit with the registered choices.
+    The local SpecError wrapper is not redundant with :func:`main`'s:
+    this helper (via :func:`build_graph`/:func:`build_algorithm`) is also
+    called directly, outside any command.
+    """
+    try:
+        entry = GRAPH_FAMILIES.entry(name)
+    except SpecError as err:
+        raise SystemExit(str(err)) from None
+    from_size = entry.metadata.get("from_size")
+    if from_size is None:
+        raise SystemExit(f"graph family {name!r} cannot be sized via --size")
+    return GraphSpec.make(name, **from_size(size))
 
 
 def algorithm_spec(name: str, label_space: int, weight: int) -> AlgorithmSpec:
     """The :class:`AlgorithmSpec` for a named algorithm (SystemExit if unknown)."""
-    from repro.runtime.spec import ALGORITHM_BUILDERS
-
-    if name not in ALGORITHM_BUILDERS:
-        raise SystemExit(
-            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHM_BUILDERS)}"
-        )
+    try:
+        ALGORITHMS.entry(name)
+    except SpecError as err:
+        raise SystemExit(str(err)) from None
     return AlgorithmSpec(name=name, label_space=label_space, weight=weight)
 
 
@@ -79,16 +81,86 @@ def build_algorithm(
     return algorithm_spec(name, label_space, weight).build(graph)
 
 
+#: Default node budget when --size is not given.
+DEFAULT_SIZE = 12
+
+
+def resolved_size(args: argparse.Namespace) -> int:
+    return args.size if args.size is not None else DEFAULT_SIZE
+
+
+def _from_flags(build):
+    """Run a constructor fed by CLI flags; ValueErrors are user errors."""
+    try:
+        return build()
+    except ValueError as err:
+        raise SystemExit(str(err)) from None
+
+
+def scenario_from_args(
+    args: argparse.Namespace, delays: Sequence[int] = (0,)
+) -> Scenario:
+    """Assemble the declarative scenario the flags describe.
+
+    Everything in a flag-built scenario is user input, so validation
+    failures exit with the message instead of a traceback.  An explicit
+    ``--size`` on a fixed-size family (``sized=False`` metadata) is an
+    error rather than silently ignored.
+    """
+    entry = GRAPH_FAMILIES.lookup(args.graph)
+    if (
+        entry is not None
+        and args.size is not None
+        and entry.metadata.get("sized", True) is False
+    ):
+        raise SystemExit(
+            f"graph family {args.graph!r} has a fixed size; --size is not supported"
+        )
+    spec = graph_spec(args.graph, resolved_size(args))
+    return _from_flags(lambda: Scenario(
+        graph=spec.family,
+        graph_params=spec.params,
+        algorithm=args.algorithm,
+        label_space=args.label_space,
+        weight=args.weight,
+        delays=tuple(delays),
+    ))
+
+
 def command_run(args: argparse.Namespace) -> int:
-    graph = build_graph(args.graph, args.size)
-    algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
-    result = simulate_rendezvous(
-        graph,
-        algorithm,
+    scenario = scenario_from_args(args)
+    graph = _from_flags(scenario.build_graph)
+    algorithm = _from_flags(lambda: scenario.build_algorithm(graph))
+    result = _from_flags(lambda: scenario.simulate(
         labels=(args.labels[0], args.labels[1]),
         starts=(args.starts[0], args.starts[1]),
         delay=args.delay,
-    )
+        graph=graph,
+        algorithm=algorithm,
+    ))
+    if args.json:
+        payload = {
+            "scenario": scenario.to_dict(),
+            "execution": {
+                "labels": list(args.labels),
+                "starts": list(args.starts),
+                "delay": args.delay,
+            },
+            "result": result.to_dict(),
+        }
+        if args.verbose:
+            payload["traces"] = [
+                {
+                    "label": trace.label,
+                    "start_node": trace.start_node,
+                    "wake_round": trace.wake_round,
+                    "moves": trace.moves,
+                    "positions": list(trace.positions),
+                }
+                for trace in result.traces
+            ]
+        print(canonical_json(payload))
+        return 0
     print(f"{algorithm.name} on {args.graph}-{graph.num_nodes} "
           f"(E={algorithm.exploration_budget}, L={args.label_space})")
     print(result.summary)
@@ -101,31 +173,31 @@ def command_run(args: argparse.Namespace) -> int:
 
 
 def command_sweep(args: argparse.Namespace) -> int:
-    g_spec = graph_spec(args.graph, args.size)
-    a_spec = algorithm_spec(args.algorithm, args.label_space, args.weight)
-    graph = g_spec.build()
-    algorithm = a_spec.build(graph)
     if args.shards is not None and args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
-    delays = (0,) if algorithm.requires_simultaneous_start else tuple(args.delays)
-    spec = JobSpec(
-        algorithm=a_spec,
-        graph=g_spec,
-        delays=delays,
-        fix_first_start=args.graph in VERTEX_TRANSITIVE,
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("--no-cache contradicts --cache-dir")
+    simultaneous = getattr(
+        ALGORITHMS.entry(args.algorithm).target, "requires_simultaneous_start", False
     )
-    store = None if args.no_cache else RunStore(args.cache_dir)
-    row, stats = worst_case_sweep_runtime(
-        spec,
-        graph_name=f"{args.graph}-{graph.num_nodes}",
-        executor=make_executor(args.workers),
-        store=store,
+    delays = (0,) if simultaneous else tuple(args.delays)
+    scenario = scenario_from_args(args, delays=delays)
+    graph = _from_flags(scenario.build_graph)
+    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    run = scenario.run(
+        engine="auto",
+        workers=args.workers,
+        cache=store,
         shard_count=args.shards,
+        graph_name=f"{args.graph}-{graph.num_nodes}",
         graph=graph,
-        algorithm=algorithm,
     )
+    if args.json:
+        print(canonical_json({**run.to_dict(), "runtime": run.runtime_dict()}))
+        return 0
+    row, stats = run.row, run.stats
     table = Table(
         f"Worst-case sweep: {row.algorithm} on {row.graph} "
         f"(E={row.exploration_budget}, L={row.label_space}, "
@@ -145,11 +217,12 @@ def command_sweep(args: argparse.Namespace) -> int:
 
 
 def command_certify(args: argparse.Namespace) -> int:
-    if args.size % 6 != 0:
+    size = resolved_size(args)
+    if size % 6 != 0:
         raise SystemExit("certificates need a ring size divisible by 6")
-    graph = oriented_ring(args.size)
+    graph = oriented_ring(size)
     algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
-    trimmed = trimmed_from_algorithm(algorithm, args.size)
+    trimmed = trimmed_from_algorithm(algorithm, size)
     if args.theorem == "3.1":
         print_lines(certify_theorem_31(trimmed).summary_lines())
     else:
@@ -188,7 +261,6 @@ def command_tradeoff(args: argparse.Namespace) -> int:
         "(adversarial pairs)",
         ["strategy", "worst cost", "cost/E", "worst time", "time/E"],
     )
-    budget = exploration.budget
     for point in points:
         table.add_row(
             point.algorithm, point.max_cost, f"{point.cost_per_e:.1f}",
@@ -227,10 +299,14 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--graph", default="ring", help="graph family (default ring)")
-        p.add_argument("--size", type=int, default=12, help="graph size (default 12)")
+        p.add_argument("--graph", default="ring",
+                       help=f"graph family (default ring); one of "
+                            f"{', '.join(GRAPH_FAMILIES.names())}")
+        p.add_argument("--size", type=int, default=None,
+                       help="graph size (default 12; rejected for fixed-size "
+                            "families like petersen)")
         p.add_argument("--algorithm", default="fast",
-                       help="cheap|cheap-sim|fast|fast-sim|fwr|fwr-sim")
+                       help="|".join(ALGORITHMS.names()))
         p.add_argument("--label-space", type=int, default=8, help="L (default 8)")
         p.add_argument("--weight", type=int, default=2,
                        help="w for FastWithRelabeling (default 2)")
@@ -241,6 +317,8 @@ def make_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--starts", type=int, nargs=2, default=(0, 5))
     run_parser.add_argument("--delay", type=int, default=0)
     run_parser.add_argument("--verbose", action="store_true")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the canonical JSON report instead of text")
     run_parser.set_defaults(func=command_run)
 
     sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep")
@@ -256,8 +334,10 @@ def make_parser() -> argparse.ArgumentParser:
     cache_group.add_argument("--no-cache", dest="no_cache", action="store_true",
                              help="bypass the run store entirely")
     sweep_parser.set_defaults(no_cache=False)
-    sweep_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+    sweep_parser.add_argument("--cache-dir", default=None,
                               help=f"run-store directory (default {DEFAULT_CACHE_DIR})")
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="emit the canonical JSON report instead of tables")
     sweep_parser.set_defaults(func=command_sweep)
 
     certify_parser = sub.add_parser("certify", help="lower-bound certificate")
@@ -280,7 +360,13 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SpecError as err:
+        # Unknown registry names are always user input at this surface;
+        # other ValueErrors may be internal invariants and keep their
+        # tracebacks (commands wrap their own input-validation sites).
+        raise SystemExit(str(err)) from None
 
 
 if __name__ == "__main__":

@@ -22,8 +22,10 @@ from __future__ import annotations
 from repro.core import bounds
 from repro.core.base import RendezvousAlgorithm
 from repro.core.schedule import Schedule, explore, wait
+from repro.registry import ALGORITHMS
 
 
+@ALGORITHMS.register("cheap")
 class Cheap(RendezvousAlgorithm):
     """Delay-tolerant Cheap: explore, wait ``2 l E``, explore."""
 
@@ -48,6 +50,7 @@ class Cheap(RendezvousAlgorithm):
         return bounds.cheap_cost(self.exploration_budget)
 
 
+@ALGORITHMS.register("cheap-sim")
 class CheapSimultaneous(RendezvousAlgorithm):
     """Simultaneous-start Cheap: wait ``(l - 1) E``, explore once."""
 

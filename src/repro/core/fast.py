@@ -25,6 +25,7 @@ from repro.core import bounds
 from repro.core.base import RendezvousAlgorithm
 from repro.core.labels import modified_label
 from repro.core.schedule import Schedule
+from repro.registry import ALGORITHMS
 
 
 def delay_tolerant_bits(modified: Sequence[int]) -> tuple[int, ...]:
@@ -36,6 +37,7 @@ def delay_tolerant_bits(modified: Sequence[int]) -> tuple[int, ...]:
     return tuple(doubled)
 
 
+@ALGORITHMS.register("fast")
 class Fast(RendezvousAlgorithm):
     """Delay-tolerant Fast, driven by ``T = (1, S1, S1, ..., Sm, Sm)``."""
 
@@ -58,6 +60,7 @@ class Fast(RendezvousAlgorithm):
         return bounds.fast_cost(self.label_space, self.exploration_budget)
 
 
+@ALGORITHMS.register("fast-sim")
 class FastSimultaneous(RendezvousAlgorithm):
     """Simultaneous-start Fast: the schedule is ``M(l)`` itself."""
 

@@ -28,8 +28,10 @@ from repro.core.labels import transform_bits
 from repro.core.relabeling import relabel_bits, smallest_t
 from repro.core.schedule import Schedule
 from repro.exploration.base import ExplorationProcedure
+from repro.registry import ALGORITHMS
 
 
+@ALGORITHMS.register("fwr", weighted=True)
 class FastWithRelabeling(RendezvousAlgorithm):
     """Delay-tolerant FastWithRelabeling(w)."""
 
@@ -66,6 +68,7 @@ class FastWithRelabeling(RendezvousAlgorithm):
         return bounds.fwr_cost(self.weight, self.exploration_budget)
 
 
+@ALGORITHMS.register("fwr-sim", weighted=True)
 class FastWithRelabelingSimultaneous(RendezvousAlgorithm):
     """Simultaneous-start FastWithRelabeling: schedule = the new label itself.
 

@@ -6,6 +6,13 @@ marked position gives ``E = 2n - 3`` by DFS (better if a Hamiltonian cycle
 or an Eulerian circuit exists); a map without a marked position costs a
 factor ``n`` more; with only a size bound, a UXS must be used.  This module
 encodes that decision table.
+
+It is also the provider for two named registries:
+:data:`repro.registry.KNOWLEDGE_MODELS` (the enum members by value, so
+scenario specs can name a knowledge model as data) and
+:data:`repro.registry.EXPLORATIONS` (each procedure behind a uniform
+``factory(graph)`` signature, with metadata naming the knowledge models it
+serves).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.exploration.hamiltonian import HamiltonianExploration, find_hamiltoni
 from repro.exploration.ring import RingExploration
 from repro.exploration.try_all_dfs import TryAllDFS
 from repro.exploration.uxs import UXSExploration, build_verified_uxs
+from repro.registry import EXPLORATIONS, KNOWLEDGE_MODELS
 
 
 class KnowledgeModel(Enum):
@@ -33,6 +41,56 @@ class KnowledgeModel(Enum):
     MAP_WITHOUT_POSITION = "map-without-position"
     #: Only the graph itself is fixed; the agent gets a verified UXS for it.
     SIZE_BOUND_ONLY = "size-bound-only"
+
+
+for _model in KnowledgeModel:
+    KNOWLEDGE_MODELS.register(_model.value)(_model)
+
+
+@EXPLORATIONS.register(
+    "ring-clockwise", knowledge=("map-with-position", "map-without-position")
+)
+def _ring_exploration(graph: PortLabeledGraph) -> RingExploration:
+    """``E = n - 1`` on oriented rings (requires the ring orientation)."""
+    if not is_oriented_ring(graph):
+        raise ValueError("ring-clockwise exploration needs an oriented ring")
+    return RingExploration(graph.num_nodes)
+
+
+@EXPLORATIONS.register("dfs-open", knowledge=("map-with-position",))
+def _dfs_open(graph: PortLabeledGraph) -> KnownMapDFS:
+    """``E = 2n - 3`` by open DFS of a map with a marked position."""
+    return KnownMapDFS(graph)
+
+
+@EXPLORATIONS.register("dfs-closed", knowledge=("map-with-position",))
+def _dfs_closed(graph: PortLabeledGraph) -> KnownMapDFS:
+    """``E = 2n - 2`` by closed DFS (returns to the start)."""
+    return KnownMapDFS(graph, closed=True)
+
+
+@EXPLORATIONS.register("eulerian", knowledge=("map-with-position",))
+def _eulerian(graph: PortLabeledGraph) -> EulerianExploration:
+    """``E = e - 1`` when every degree is even."""
+    return EulerianExploration(graph)
+
+
+@EXPLORATIONS.register("hamiltonian", knowledge=("map-with-position",))
+def _hamiltonian(graph: PortLabeledGraph) -> HamiltonianExploration:
+    """``E = n - 1`` when a Hamiltonian cycle exists."""
+    return HamiltonianExploration(graph)
+
+
+@EXPLORATIONS.register("try-all-dfs", knowledge=("map-without-position",))
+def _try_all_dfs(graph: PortLabeledGraph) -> TryAllDFS:
+    """Map without a marked position: try the DFS of every possible start."""
+    return TryAllDFS(graph)
+
+
+@EXPLORATIONS.register("uxs", knowledge=("size-bound-only",))
+def _uxs(graph: PortLabeledGraph) -> UXSExploration:
+    """A verified universal exploration sequence for the graph."""
+    return UXSExploration(build_verified_uxs([graph]))
 
 
 def best_exploration(

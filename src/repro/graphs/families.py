@@ -7,6 +7,14 @@ passed, so that experiments are reproducible.
 The oriented ring (:func:`oriented_ring`) is the central family: both lower
 bounds of the paper are proved on it, and ``E = n - 1`` there is achieved by
 walking clockwise.
+
+Deterministic constructors register themselves in
+:data:`repro.registry.GRAPH_FAMILIES` so specs and scenarios can name them
+as data.  Metadata carried per entry: ``vertex_transitive`` (worst-case
+sweeps may pin the first agent's start without losing a worst case) and
+``from_size`` (how the CLI maps a single node budget to parameters).  The
+randomized constructors stay unregistered -- a registry entry must be
+rebuildable by value, and an ``rng`` is not a value.
 """
 
 from __future__ import annotations
@@ -15,8 +23,12 @@ import random
 from typing import Sequence
 
 from repro.graphs.port_graph import PortEdge, PortLabeledGraph
+from repro.registry import GRAPH_FAMILIES
 
 
+@GRAPH_FAMILIES.register(
+    "ring", vertex_transitive=True, from_size=lambda size: {"n": size}
+)
 def oriented_ring(n: int) -> PortLabeledGraph:
     """The oriented ring of size ``n``: port 0 clockwise, port 1 counterclockwise.
 
@@ -44,6 +56,7 @@ def ring_with_random_ports(n: int, rng: random.Random) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register("path", from_size=lambda size: {"n": size})
 def path_graph(n: int) -> PortLabeledGraph:
     """The path on ``n`` nodes; inner nodes use port 0 toward the smaller end."""
     if n < 2:
@@ -55,6 +68,7 @@ def path_graph(n: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register("star", from_size=lambda size: {"n": size})
 def star_graph(n: int) -> PortLabeledGraph:
     """The star with one center (node 0) and ``n - 1`` leaves.
 
@@ -67,6 +81,9 @@ def star_graph(n: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "complete", vertex_transitive=True, from_size=lambda size: {"n": size}
+)
 def complete_graph(n: int) -> PortLabeledGraph:
     """The complete graph ``K_n`` with a deterministic port assignment.
 
@@ -87,6 +104,9 @@ def complete_graph(n: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "tree", from_size=lambda size: {"depth": max(1, size.bit_length() - 1)}
+)
 def full_binary_tree(depth: int) -> PortLabeledGraph:
     """The complete binary tree of the given ``depth`` (depth 0 = one node...).
 
@@ -124,6 +144,11 @@ def random_tree(n: int, rng: random.Random) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "hypercube",
+    vertex_transitive=True,
+    from_size=lambda size: {"dimension": max(1, size.bit_length() - 1)},
+)
 def hypercube(dimension: int) -> PortLabeledGraph:
     """The ``dimension``-dimensional hypercube; port ``i`` flips bit ``i``.
 
@@ -141,6 +166,11 @@ def hypercube(dimension: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "torus",
+    vertex_transitive=True,
+    from_size=lambda size: {"rows": 3, "cols": max(3, size // 3)},
+)
 def torus_grid(rows: int, cols: int) -> PortLabeledGraph:
     """The ``rows x cols`` torus; ports 0/1 = east/west, 2/3 = south/north.
 
@@ -160,6 +190,13 @@ def torus_grid(rows: int, cols: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(rows * cols, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "lollipop",
+    from_size=lambda size: {
+        "clique_size": max(3, size // 2),
+        "tail_length": max(1, size - max(3, size // 2)),
+    },
+)
 def lollipop(clique_size: int, tail_length: int) -> PortLabeledGraph:
     """A clique on ``clique_size`` nodes with a path of ``tail_length`` hanging off.
 
@@ -188,6 +225,11 @@ def lollipop(clique_size: int, tail_length: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "circulant",
+    vertex_transitive=True,
+    from_size=lambda size: {"n": max(5, size), "offsets": [1, 2]},
+)
 def circulant_graph(n: int, offsets: Sequence[int]) -> PortLabeledGraph:
     """The circulant graph ``C_n(offsets)``: node ``u`` adjacent to ``u +- s``.
 
@@ -214,6 +256,10 @@ def circulant_graph(n: int, offsets: Sequence[int]) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(n, edges)
 
 
+@GRAPH_FAMILIES.register(
+    "complete-bipartite",
+    from_size=lambda size: {"a": max(1, size // 2), "b": max(1, size - size // 2)},
+)
 def complete_bipartite(a: int, b: int) -> PortLabeledGraph:
     """The complete bipartite graph ``K_{a,b}``; left nodes first.
 
@@ -230,6 +276,12 @@ def complete_bipartite(a: int, b: int) -> PortLabeledGraph:
     return PortLabeledGraph.from_edges(a + b, edges)
 
 
+# Deliberately NOT vertex_transitive: the Petersen graph is transitive as
+# an abstract graph, but pinning soundness needs *port-preserving*
+# transitivity, and this fixed port assignment has no automorphisms
+# mapping outer to inner nodes (a pinned sweep measurably misses worst
+# cases; see tests/test_registry.py).
+@GRAPH_FAMILIES.register("petersen", sized=False, from_size=lambda size: {})
 def petersen_graph() -> PortLabeledGraph:
     """The Petersen graph (10 nodes, 3-regular) with a fixed port assignment.
 

@@ -1,0 +1,252 @@
+"""Named registries: the single naming authority for every scenario axis.
+
+Every claim in Miller & Pelc (PODC 2014) is a statement of the form
+"algorithm x graph family x knowledge model x presence/delay model ->
+worst-case time/cost".  This module gives each of those axes a *named
+registry*, so a scenario can be written down as plain data ("fast" on
+"ring" under "map-with-position" and "from-start") and resolved back into
+live objects anywhere -- in-process, in a worker of the parallel runtime,
+or from a JSON file on disk.
+
+The registries themselves are deliberately dumb: a name maps to a target
+(a constructor, a class, an enum member) plus a metadata mapping that
+higher layers interpret (``vertex_transitive`` for sound start-pinning,
+``weighted`` for algorithms taking a weight parameter, ``from_size`` for
+the CLI's size heuristics).  Providers self-register at import time with
+the :meth:`Registry.register` decorator; lookups lazily import the
+provider modules first, so ``from repro.registry import GRAPH_FAMILIES``
+works without importing the whole package by hand.
+
+Unknown names raise :class:`SpecError` -- a single typed error naming the
+registry and the valid choices -- from every resolution path (object
+construction, job specs, the declarative :mod:`repro.api` layer).
+
+This module must import nothing from :mod:`repro` itself: it is the
+bottom of the dependency tower that every other layer registers into.
+"""
+
+from __future__ import annotations
+
+import enum
+import importlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+
+class SpecError(ValueError):
+    """A declarative spec referenced a name no registry entry provides.
+
+    Subclasses :class:`ValueError` so pre-registry callers catching the
+    old mixed ``ValueError``/``KeyError`` behaviour keep working; carries
+    the registry kind, the offending name and the valid choices as
+    attributes for programmatic handling.
+    """
+
+    def __init__(self, kind: str, name: str, choices: list[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = choices
+        super().__init__(f"unknown {kind} {name!r}; choose from {choices}")
+
+    def __reduce__(self):
+        # Rebuild from the three real arguments: the default exception
+        # pickling would replay __init__ with the formatted message only,
+        # which matters because workers raise SpecError across process
+        # boundaries (ProcessPoolExecutor pickles exceptions back).
+        return (SpecError, (self.kind, self.name, self.choices))
+
+
+def _same_origin(a: Any, b: Any) -> bool:
+    """Whether two registration targets are the same definition re-executed."""
+    if isinstance(a, enum.Enum) and isinstance(b, enum.Enum):
+        # Enum members carry no __qualname__ of their own; compare the
+        # member name within the identically-defined enclosing class.
+        return (
+            type(a).__module__ == type(b).__module__
+            and type(a).__qualname__ == type(b).__qualname__
+            and a.name == b.name
+        )
+    return (
+        getattr(a, "__module__", None) == getattr(b, "__module__", None)
+        and getattr(a, "__qualname__", None) == getattr(b, "__qualname__", None)
+        and getattr(a, "__qualname__", None) is not None
+    )
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered name: the target object plus interpretation hints."""
+
+    name: str
+    target: Any
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self, *args: Any, **kwargs: Any) -> Any:
+        """Call the target as a factory (constructors, builder functions)."""
+        return self.target(*args, **kwargs)
+
+
+class Registry:
+    """A name -> :class:`RegistryEntry` mapping with decorator registration.
+
+    ``providers`` lists modules whose import populates the registry; they
+    are imported lazily on first lookup, so the registry is complete no
+    matter which corner of the package the caller entered through (a
+    pickled job spec in a worker process, a bare ``import repro.registry``,
+    the full ``import repro``).
+    """
+
+    def __init__(self, kind: str, providers: tuple[str, ...] = ()):
+        self.kind = kind
+        self._providers = providers
+        self._entries: dict[str, RegistryEntry] = {}
+        self._loaded = not providers
+        self._loading = False
+        self._load_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Registration (import-time, never triggers provider loading)
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, **metadata: Any) -> Callable[[Any], Any]:
+        """Decorator registering the decorated object under ``name``.
+
+        Returns the object unchanged, so definition sites stay readable::
+
+            @GRAPH_FAMILIES.register("ring", vertex_transitive=True)
+            def oriented_ring(n: int) -> PortLabeledGraph: ...
+        """
+
+        def decorator(target: Any) -> Any:
+            existing = self._entries.get(name)
+            if existing is not None and not _same_origin(existing.target, target):
+                raise ValueError(
+                    f"duplicate {self.kind} registration for {name!r} "
+                    f"(already provided by {existing.target!r})"
+                )
+            # Same origin: a provider module re-executing (e.g. re-imported
+            # after a failed first import dropped it from sys.modules)
+            # replaces its own entry instead of tripping the duplicate check.
+            self._entries[name] = RegistryEntry(name, target, dict(metadata))
+            return target
+
+        return decorator
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        # The RLock serialises concurrent first lookups (a second thread
+        # waits for the full provider import rather than resolving against
+        # a half-populated registry); ``_loading`` guards same-thread
+        # re-entrant lookups while a provider imports (the RLock would let
+        # those straight through).  ``_loaded`` is only set on success, so
+        # a failed provider import propagates its real error again on the
+        # next lookup instead of leaving the registry silently empty.
+        if self._loaded:
+            return
+        with self._load_lock:
+            if self._loaded or self._loading:
+                return
+            self._loading = True
+            try:
+                for module in self._providers:
+                    importlib.import_module(module)
+            finally:
+                self._loading = False
+            self._loaded = True
+
+    def entry(self, name: str) -> RegistryEntry:
+        """The entry for ``name``, or :class:`SpecError` listing choices."""
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SpecError(self.kind, name, self.names()) from None
+
+    def get(self, name: str) -> Any:
+        """The registered target for ``name`` (:class:`SpecError` if absent)."""
+        return self.entry(name).target
+
+    def lookup(self, name: str) -> RegistryEntry | None:
+        """Like :meth:`entry` but returning ``None`` for unknown names."""
+        self._ensure_loaded()
+        return self._entries.get(name)
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        """All entries, in name order."""
+        self._ensure_loaded()
+        return [self._entries[name] for name in self.names()]
+
+    # Mapping-style protocol: ``name in REG``, ``sorted(REG)`` and
+    # ``len(REG)`` behave like the plain builder dicts this registry
+    # replaced.  Lookup deliberately differs from dict semantics:
+    # ``REG[name]`` and ``get(name)`` raise SpecError (a ValueError, NOT
+    # KeyError) so unknown names always carry the valid choices -- use
+    # ``lookup(name)`` for a None-returning probe.
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def __repr__(self) -> str:
+        self._ensure_loaded()
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+#: Graph family name -> constructor taking flat keyword parameters.
+#: Metadata: ``vertex_transitive`` (pinning the first start is sound),
+#: ``from_size`` (CLI heuristic mapping a node budget to parameters).
+GRAPH_FAMILIES = Registry("graph family", providers=("repro.graphs.families",))
+
+#: Algorithm name -> class taking ``(exploration, label_space[, weight])``.
+#: Metadata: ``weighted`` (consumes the weight parameter).  Whether the
+#: algorithm is correct only with simultaneous start is read off the
+#: class's own ``requires_simultaneous_start`` attribute, not duplicated
+#: here.
+ALGORITHMS = Registry(
+    "algorithm",
+    providers=("repro.core.cheap", "repro.core.fast", "repro.core.fast_relabel"),
+)
+
+#: Exploration procedure name -> factory taking the graph.  Metadata:
+#: ``knowledge`` (the knowledge models the procedure serves).
+EXPLORATIONS = Registry(
+    "exploration procedure", providers=("repro.exploration.registry",)
+)
+
+#: Presence/delay model name -> :class:`repro.sim.simulator.PresenceModel`.
+PRESENCE_MODELS = Registry("presence model", providers=("repro.sim.simulator",))
+
+#: Knowledge model name -> :class:`repro.exploration.registry.KnowledgeModel`.
+KNOWLEDGE_MODELS = Registry(
+    "knowledge model", providers=("repro.exploration.registry",)
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "EXPLORATIONS",
+    "GRAPH_FAMILIES",
+    "KNOWLEDGE_MODELS",
+    "PRESENCE_MODELS",
+    "Registry",
+    "RegistryEntry",
+    "SpecError",
+]

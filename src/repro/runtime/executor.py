@@ -72,6 +72,15 @@ class SerialExecutor:
         for spec in specs:
             yield run_shard(spec)
 
+    def close(self) -> None:
+        """Nothing to release; present so callers can close uniformly."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
@@ -83,24 +92,62 @@ class ParallelExecutor:
     the run store checkpoints continuously -- an interrupted run loses at
     most the in-flight shards.  With one worker (or one shard) it degrades
     to the serial path rather than paying pool overhead.
+
+    The pool is created lazily on first use and *reused* across
+    :meth:`map_shards` calls, so a sweep over many jobs pays process
+    startup once, not once per job.  Call :meth:`close` (or use the
+    executor as a context manager) when done; the high-level entry points
+    close executors they created themselves.
     """
 
     def __init__(self, workers: int | None = None):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError(f"need at least one worker, got {self.workers}")
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
 
     def map_shards(self, specs: Sequence[JobSpec]) -> Iterator[ShardReport]:
         specs = list(specs)
         if self.workers == 1 or len(specs) <= 1:
             yield from SerialExecutor().map_shards(specs)
             return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(specs))) as pool:
-            pending = {pool.submit(run_shard, spec) for spec in specs}
+        pool = self._get_pool()
+        pending = {pool.submit(run_shard, spec) for spec in specs}
+        try:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     yield future.result()
+        finally:
+            # An abandoned iteration (break / exception / GeneratorExit)
+            # must not leave queued shards burning CPU in the background.
+            for future in pending:
+                future.cancel()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:
+        # Safety net for callers written against the old per-call pool
+        # lifetime that never call close(): release worker processes at
+        # GC instead of holding them until interpreter exit.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers})"

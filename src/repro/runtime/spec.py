@@ -12,51 +12,36 @@ of :func:`repro.sim.adversary.configurations`); a *shard* is a contiguous
 slice ``[lo, hi)`` of that order.  Each configuration therefore has a
 global index, which downstream merge logic uses for tie-breaking so that
 sharded results are bit-identical to a serial enumeration.
+
+Every name in a spec (graph family, algorithm, knowledge model, presence
+model) resolves through the named registries in :mod:`repro.registry`;
+unknown names raise :class:`repro.registry.SpecError` listing the valid
+choices.
 """
 
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 from dataclasses import dataclass, replace
 from typing import Any, Iterator, Mapping
 
 from repro.core.base import RendezvousAlgorithm
-from repro.core.cheap import Cheap, CheapSimultaneous
-from repro.core.fast import Fast, FastSimultaneous
-from repro.core.fast_relabel import FastWithRelabeling, FastWithRelabelingSimultaneous
 from repro.exploration.registry import KnowledgeModel, best_exploration
-from repro.graphs import families
 from repro.graphs.port_graph import PortLabeledGraph
-from repro.sim.adversary import Configuration, all_label_pairs, configurations
-
-#: Graph families constructible from a flat parameter mapping.
-GRAPH_BUILDERS = {
-    "ring": families.oriented_ring,
-    "path": families.path_graph,
-    "star": families.star_graph,
-    "complete": families.complete_graph,
-    "tree": families.full_binary_tree,
-    "hypercube": families.hypercube,
-    "torus": families.torus_grid,
-    "lollipop": families.lollipop,
-    "circulant": families.circulant_graph,
-    "complete-bipartite": families.complete_bipartite,
-    "petersen": families.petersen_graph,
-}
-
-#: Algorithm constructors by CLI name; ``fwr`` variants also take a weight.
-ALGORITHM_BUILDERS = {
-    "cheap": Cheap,
-    "cheap-sim": CheapSimultaneous,
-    "fast": Fast,
-    "fast-sim": FastSimultaneous,
-    "fwr": FastWithRelabeling,
-    "fwr-sim": FastWithRelabelingSimultaneous,
-}
-
-_WEIGHTED_ALGORITHMS = ("fwr", "fwr-sim")
+from repro.registry import (
+    ALGORITHMS,
+    EXPLORATIONS,
+    GRAPH_FAMILIES,
+    KNOWLEDGE_MODELS,
+    SpecError,
+)
+from repro.sim.adversary import (
+    Configuration,
+    all_label_pairs,
+    configurations,
+    default_start_pairs,
+)
 
 
 def canonical_json(payload: Any) -> str:
@@ -68,16 +53,60 @@ def _content_key(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-def _freeze(value: Any) -> Any:
+def resolve_exploration(name: str, knowledge: str):
+    """The EXPLORATIONS entry for ``name``, checked against ``knowledge``.
+
+    The single source of truth for exploration/knowledge compatibility:
+    a procedure's ``knowledge`` metadata lists the models it serves, and
+    naming it under any other model is a contradiction (e.g. a known-map
+    DFS cannot run with only a size bound).
+    """
+    procedure = EXPLORATIONS.entry(name)  # SpecError if unknown
+    served = procedure.metadata.get("knowledge", ())
+    if served and knowledge not in served:
+        raise ValueError(
+            f"exploration {name!r} serves knowledge models "
+            f"{list(served)}, not {knowledge!r}"
+        )
+    return procedure
+
+
+def freeze_value(value: Any) -> Any:
+    """Lists/tuples -> nested tuples, so parameter values compare and
+    hash canonically; mappings keep their shape with frozen values."""
+    if isinstance(value, Mapping):
+        return {key: freeze_value(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
-        return tuple(_freeze(item) for item in value)
+        return tuple(freeze_value(item) for item in value)
     return value
 
 
-def _thaw(value: Any) -> Any:
-    if isinstance(value, tuple):
-        return [_thaw(item) for item in value]
+def thaw_value(value: Any) -> Any:
+    """The inverse of :func:`freeze_value`: back to JSON-ready built-ins
+    (nested tuples -> lists, mappings recursed)."""
+    if isinstance(value, Mapping):
+        return {key: thaw_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [thaw_value(item) for item in value]
     return value
+
+
+def ensure_hashable_param(key: str, value: Any) -> None:
+    """Reject mapping values anywhere inside a graph parameter.
+
+    A mapping would survive :func:`freeze_value` as a dict (even nested
+    inside a sequence) and break the spec hashability worker processes
+    memoise on -- fail at the construction site instead of deep inside a
+    pool worker's ``lru_cache``.
+    """
+    if isinstance(value, Mapping):
+        raise ValueError(
+            f"graph parameter {key!r} must be a scalar or (nested) sequence, "
+            "not a mapping"
+        )
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            ensure_hashable_param(key, item)
 
 
 @dataclass(frozen=True)
@@ -94,16 +123,16 @@ class GraphSpec:
 
     @classmethod
     def make(cls, family: str, **params: Any) -> "GraphSpec":
-        return cls(family, tuple(sorted((k, _freeze(v)) for k, v in params.items())))
+        for key, value in params.items():
+            ensure_hashable_param(key, value)
+        return cls(
+            family, tuple(sorted((k, freeze_value(v)) for k, v in params.items()))
+        )
 
     def build(self) -> PortLabeledGraph:
-        if self.family not in GRAPH_BUILDERS:
-            raise ValueError(
-                f"unknown graph family {self.family!r}; "
-                f"choose from {sorted(GRAPH_BUILDERS)}"
-            )
-        kwargs = {name: _thaw(value) for name, value in self.params}
-        return GRAPH_BUILDERS[self.family](**kwargs)
+        entry = GRAPH_FAMILIES.entry(self.family)  # SpecError if unknown
+        kwargs = {name: thaw_value(value) for name, value in self.params}
+        return entry.build(**kwargs)
 
     @property
     def label(self) -> str:
@@ -112,7 +141,7 @@ class GraphSpec:
         return f"{self.family}({inner})"
 
     def to_dict(self) -> dict[str, Any]:
-        return {"family": self.family, "params": {k: _thaw(v) for k, v in self.params}}
+        return {"family": self.family, "params": {k: thaw_value(v) for k, v in self.params}}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "GraphSpec":
@@ -123,43 +152,60 @@ class GraphSpec:
 class AlgorithmSpec:
     """An algorithm name plus the parameters to rebuild it on a graph.
 
-    The exploration procedure is *derived* (via
+    By default the exploration procedure is *derived* (via
     :func:`repro.exploration.registry.best_exploration` under
     ``knowledge``), not serialized: it is a deterministic function of the
-    graph, and rebuilding it in the worker keeps the spec small.
+    graph, and rebuilding it in the worker keeps the spec small.  An
+    explicit ``exploration`` names a registered procedure instead,
+    overriding the knowledge-model hierarchy.
     """
 
     name: str
     label_space: int
     weight: int = 2
     knowledge: str = KnowledgeModel.MAP_WITH_POSITION.value
+    exploration: str | None = None
 
     def __post_init__(self) -> None:
-        # Only the fwr variants consume the weight; pin it to the default
-        # elsewhere so e.g. Cheap(weight=3) and Cheap(weight=2) are equal,
-        # hash alike, and share one run-store entry.
-        if self.name not in _WEIGHTED_ALGORITHMS and self.weight != 2:
+        # Only weighted algorithms (registry metadata) consume the weight;
+        # pin it to the default elsewhere so e.g. Cheap(weight=3) and
+        # Cheap(weight=2) are equal, hash alike, and share one run-store
+        # entry.  Names not (yet) registered keep their weight untouched:
+        # pinning an unknown name would silently corrupt the weight of a
+        # weighted algorithm whose provider just isn't imported yet.
+        entry = ALGORITHMS.lookup(self.name)
+        if (
+            entry is not None
+            and not entry.metadata.get("weighted", False)
+            and self.weight != 2
+        ):
             object.__setattr__(self, "weight", 2)
 
     def build(self, graph: PortLabeledGraph) -> RendezvousAlgorithm:
-        if self.name not in ALGORITHM_BUILDERS:
-            raise ValueError(
-                f"unknown algorithm {self.name!r}; "
-                f"choose from {sorted(ALGORITHM_BUILDERS)}"
+        entry = ALGORITHMS.entry(self.name)  # SpecError if unknown
+        if self.exploration is not None:
+            exploration = resolve_exploration(self.exploration, self.knowledge).build(
+                graph
             )
-        exploration = best_exploration(graph, KnowledgeModel(self.knowledge))
-        builder = ALGORITHM_BUILDERS[self.name]
-        if self.name in _WEIGHTED_ALGORITHMS:
-            return builder(exploration, self.label_space, self.weight)
-        return builder(exploration, self.label_space)
+        else:
+            knowledge = KNOWLEDGE_MODELS.get(self.knowledge)  # SpecError if unknown
+            exploration = best_exploration(graph, knowledge)
+        if entry.metadata.get("weighted", False):
+            return entry.build(exploration, self.label_space, self.weight)
+        return entry.build(exploration, self.label_space)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "label_space": self.label_space,
             "weight": self.weight,
             "knowledge": self.knowledge,
         }
+        # Emitted only when set, so the content hashes (and run-store
+        # entries) of knowledge-derived specs are unchanged.
+        if self.exploration is not None:
+            payload["exploration"] = self.exploration
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "AlgorithmSpec":
@@ -168,6 +214,7 @@ class AlgorithmSpec:
             label_space=payload["label_space"],
             weight=payload.get("weight", 2),
             knowledge=payload.get("knowledge", KnowledgeModel.MAP_WITH_POSITION.value),
+            exploration=payload.get("exploration"),
         )
 
 
@@ -179,7 +226,7 @@ class JobSpec:
     it to the configurations with global indices in ``[lo, hi)``.
     ``horizon=None`` means each execution's round budget is derived from
     the algorithm's own schedule (``delay + max schedule length``), which
-    is how :func:`repro.analysis.sweep.worst_case_sweep` runs.
+    is how :func:`repro.api.sweep_objects` runs.
     """
 
     algorithm: AlgorithmSpec
@@ -214,11 +261,10 @@ class JobSpec:
         return tuple(all_label_pairs(self.algorithm.label_space))
 
     def config_space_size(self, graph: PortLabeledGraph | None = None) -> int:
-        """Total number of configurations, without enumerating them."""
+        """Total number of configurations, without simulating any."""
         graph = graph if graph is not None else self.graph.build()
-        n = graph.num_nodes
-        start_pairs = (n - 1) if self.fix_first_start else n * (n - 1)
-        return len(self.resolved_label_pairs()) * start_pairs * len(self.delays)
+        starts = len(default_start_pairs(graph, self.fix_first_start))
+        return len(self.resolved_label_pairs()) * starts * len(self.delays)
 
     def iter_configs(self, graph: PortLabeledGraph) -> Iterator[Configuration]:
         """All configurations in the global (shard-index) order."""
@@ -232,10 +278,32 @@ class JobSpec:
     def iter_shard(
         self, graph: PortLabeledGraph
     ) -> Iterator[tuple[int, Configuration]]:
-        """The shard's ``(global_index, configuration)`` pairs."""
-        lo, hi = self.shard if self.shard is not None else (0, None)
-        sliced = itertools.islice(self.iter_configs(graph), lo, hi)
-        return ((lo + offset, config) for offset, config in enumerate(sliced))
+        """The shard's ``(global_index, configuration)`` pairs.
+
+        The configuration space is a pure product (label pairs x start
+        pairs x delays), so an index maps to its configuration by
+        ``divmod`` -- a shard costs ``O(hi - lo)`` regardless of where in
+        the global order it starts, instead of enumerating and discarding
+        every preceding configuration.  The decomposition mirrors the
+        nesting order of :func:`repro.sim.adversary.configurations`
+        (labels outermost, delays innermost), sharing its
+        :func:`~repro.sim.adversary.default_start_pairs` enumeration so
+        the two orderings cannot drift.
+        """
+        label_pairs = self.resolved_label_pairs()
+        start_pairs = default_start_pairs(graph, self.fix_first_start)
+        delays = self.delays
+        per_label = len(start_pairs) * len(delays)
+        total = len(label_pairs) * per_label
+        lo, hi = self.shard if self.shard is not None else (0, total)
+        for index in range(lo, min(hi, total)):
+            label_index, rest = divmod(index, per_label)
+            start_index, delay_index = divmod(rest, len(delays))
+            yield index, Configuration(
+                labels=label_pairs[label_index],
+                starts=start_pairs[start_index],
+                delay=delays[delay_index],
+            )
 
     # ------------------------------------------------------------------
     # Serialization and content addressing

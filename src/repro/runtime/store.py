@@ -13,9 +13,12 @@ with a single ``O_APPEND`` syscall each, so concurrent sweeps of the same
 spec interleave at record granularity rather than tearing each other's
 lines, and a process killed mid-write leaves at most one truncated
 trailing line.  :meth:`RunStore.load` skips undecodable lines (re-running
-at most the affected shards) instead of failing.  The store never
-invalidates -- a spec hash names an immutable computation -- so
-:meth:`clear` (or deleting the directory) is the only eviction.
+at most the affected shards) instead of failing.  A spec hash names an
+immutable computation *within one library version* -- the library and
+record-format versions are part of the filename, so results computed by
+different code never serve (or evict) each other -- and the store never
+invalidates in-place: :meth:`clear` (or deleting the directory) is the
+only eviction.
 """
 
 from __future__ import annotations
@@ -34,6 +37,13 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 _FORMAT_VERSION = 1
 
 
+def _library_version() -> str:
+    # Imported lazily: repro/__init__ imports this package.
+    from repro import __version__
+
+    return __version__
+
+
 class RunStore:
     """A directory of append-only JSONL shard records, keyed by spec hash."""
 
@@ -43,8 +53,21 @@ class RunStore:
     # ------------------------------------------------------------------
 
     def path_for(self, spec: JobSpec) -> Path:
-        """The JSONL file holding the given spec's sweep."""
-        return self.root / "runs" / f"{spec.sweep_key()}.jsonl"
+        """The JSONL file holding the given spec's sweep.
+
+        The library version and record-format version are part of the
+        filename: a spec hash cannot see code edits, so results computed
+        by different versions must not share a file.  Filename isolation
+        keeps concurrent checkouts of different versions from evicting
+        each other's caches (an in-file version check would make each
+        delete the other's work on every read) and from appending
+        mixed-format records to one file.
+        """
+        return (
+            self.root
+            / "runs"
+            / f"{spec.sweep_key()}-v{_library_version()}-f{_FORMAT_VERSION}.jsonl"
+        )
 
     def load(self, spec: JobSpec) -> dict[tuple[int, int], ShardReport]:
         """All completed shards of the spec's sweep, keyed by shard bounds.
@@ -68,6 +91,10 @@ class RunStore:
                 except json.JSONDecodeError:
                     continue
                 if payload.get("kind") != "shard":
+                    # Headers (and unknown record kinds) are informational;
+                    # version skew never reaches here because both the
+                    # library and record-format versions are part of the
+                    # filename.
                     continue
                 report = ShardReport.from_dict(payload["report"])
                 shards[report.shard] = report
@@ -89,6 +116,7 @@ class RunStore:
                 {
                     "kind": "job",
                     "version": _FORMAT_VERSION,
+                    "library": _library_version(),
                     "spec": spec.sweep_spec().to_dict(),
                 }
             )

@@ -13,10 +13,11 @@ from functools import lru_cache
 
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.registry import PRESENCE_MODELS
 from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport
 from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
 from repro.sim.adversary import default_horizon
-from repro.sim.simulator import PresenceModel, simulate_rendezvous
+from repro.sim.simulator import simulate_rendezvous
 
 
 @lru_cache(maxsize=16)
@@ -38,7 +39,7 @@ def run_shard(spec: JobSpec) -> ShardReport:
     relies on.
     """
     graph, algorithm = _materialize(spec.graph, spec.algorithm)
-    presence = PresenceModel(spec.presence)
+    presence = PRESENCE_MODELS.get(spec.presence)  # SpecError if unknown
     lo, hi = spec.shard if spec.shard is not None else (0, spec.config_space_size(graph))
 
     worst_time: ExtremeSummary | None = None

@@ -82,6 +82,23 @@ def all_label_pairs(label_space: int) -> Iterator[tuple[int, int]]:
     return itertools.permutations(range(1, label_space + 1), 2)
 
 
+def default_start_pairs(
+    graph: PortLabeledGraph, fix_first_start: bool = False
+) -> list[tuple[int, int]]:
+    """The canonical ordered start-pair enumeration of a sweep.
+
+    This single definition fixes the global configuration ordering that
+    :func:`configurations`, the runtime's shard indexing
+    (:meth:`repro.runtime.spec.JobSpec.iter_shard`) and the space-size
+    law (:meth:`~repro.runtime.spec.JobSpec.config_space_size`) all
+    share -- cached shard indices and merge tie-breaking silently corrupt
+    if any of them drifts, so none of them re-implements it.
+    """
+    nodes = range(graph.num_nodes)
+    first_nodes = [0] if fix_first_start else list(nodes)
+    return [(u, v) for u in first_nodes for v in nodes if u != v]
+
+
 def configurations(
     graph: PortLabeledGraph,
     label_pairs: Iterable[tuple[int, int]],
@@ -92,15 +109,12 @@ def configurations(
     """Enumerate the adversarial configuration space.
 
     ``fix_first_start`` pins the first agent to node 0, which is sound
-    (loses no worst case) exactly on vertex-transitive graphs such as
-    oriented rings, hypercubes and tori; the caller asserts that property.
+    (loses no worst case) exactly on port-preservingly vertex-transitive
+    graphs such as oriented rings, hypercubes and tori; the caller
+    asserts that property.
     """
     if start_pairs is None:
-        nodes = range(graph.num_nodes)
-        first_nodes = [0] if fix_first_start else list(nodes)
-        start_pairs = [
-            (u, v) for u in first_nodes for v in nodes if u != v
-        ]
+        start_pairs = default_start_pairs(graph, fix_first_start)
     else:
         start_pairs = list(start_pairs)
     label_pairs = list(label_pairs)

@@ -43,6 +43,19 @@ class RendezvousResult:
         if sum(self.costs) != self.cost:
             raise ValueError("per-agent costs must sum to the total cost")
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-ready form (traces excluded: they are bulky
+        and replayable from the configuration)."""
+        return {
+            "met": self.met,
+            "time": self.time,
+            "meeting_node": self.meeting_node,
+            "cost": self.cost,
+            "costs": list(self.costs),
+            "crossings": self.crossings,
+            "rounds_executed": self.rounds_executed,
+        }
+
     @property
     def summary(self) -> str:
         """One-line human-readable description."""

@@ -25,6 +25,7 @@ from enum import Enum
 from typing import Sequence
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.registry import PRESENCE_MODELS
 from repro.sim.actions import WAIT, Action, is_move, validate_action
 from repro.sim.metrics import RendezvousResult
 from repro.sim.observation import Observation
@@ -39,6 +40,10 @@ class PresenceModel(Enum):
     FROM_START = "from-start"
     #: Appears only at its wake-up ("parachuted", Conclusion's alternative).
     PARACHUTE = "parachute"
+
+
+for _model in PresenceModel:
+    PRESENCE_MODELS.register(_model.value)(_model)
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,7 @@ byte-identical (canonical JSON) to the serial in-process enumeration.
 
 import pytest
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.runtime import (
     AlgorithmSpec,
     ExtremeSummary,
@@ -112,7 +112,7 @@ class TestDeterminism:
     def test_runtime_matches_the_in_process_adversary(self, job):
         graph = job.graph.build()
         algorithm = job.algorithm.build(graph)
-        legacy = worst_case_sweep(
+        legacy = sweep_objects(
             algorithm,
             graph,
             "g",
@@ -125,6 +125,17 @@ class TestDeterminism:
         assert merged.worst_time.config == legacy.worst_time_config
         assert merged.worst_cost.config == legacy.worst_cost_config
         assert merged.executions == legacy.executions
+
+    def test_pool_is_reused_across_map_shards_calls(self):
+        with ParallelExecutor(2) as executor:
+            list(executor.map_shards([RING_JOB.shard_spec(0, 5),
+                                      RING_JOB.shard_spec(5, 10)]))
+            first_pool = executor._pool
+            assert first_pool is not None
+            list(executor.map_shards([RING_JOB.shard_spec(10, 15),
+                                      RING_JOB.shard_spec(15, 20)]))
+            assert executor._pool is first_pool
+        assert executor._pool is None  # context exit closed it
 
     def test_sharding_granularity_does_not_change_the_result(self):
         coarse = execute_job(RING_JOB, shard_count=2).report

@@ -40,6 +40,12 @@ class TestGraphSpec:
         with pytest.raises(ValueError, match="unknown graph family"):
             GraphSpec.make("moebius", n=8).build()
 
+    def test_mapping_params_rejected_to_keep_specs_hashable(self):
+        with pytest.raises(ValueError, match="not a mapping"):
+            GraphSpec.make("ring", n={"a": 1})
+        with pytest.raises(ValueError, match="not a mapping"):
+            GraphSpec.make("ring", n=[{"a": 1}])  # nested inside a sequence
+
 
 class TestAlgorithmSpec:
     def test_builds_the_named_algorithm(self, ring12):

@@ -125,3 +125,29 @@ class TestEviction:
         assert store.clear() == 2
         assert store.load(small_job()) == {}
         assert store.clear() == 0
+
+
+def test_version_skew_is_isolated_by_filename(tmp_path):
+    """Results computed by different code must never be served or evicted.
+
+    Both the library version and the record-format version are part of
+    the filename, so a checkout running different code simply reads and
+    writes a different file -- concurrent checkouts coexist instead of
+    destroying each other's caches.
+    """
+    import repro
+    from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec, RunStore
+    from repro.runtime.worker import run_shard
+
+    spec = JobSpec(AlgorithmSpec("fast-sim", 3), GraphSpec.make("ring", n=4))
+    store = RunStore(tmp_path)
+    store.append(spec, run_shard(spec.shard_spec(0, 5)))
+    assert store.load(spec)
+
+    path = store.path_for(spec)
+    assert f"-v{repro.__version__}-f1.jsonl" in path.name
+    # A file written by other code has another name and is never read.
+    other = path.with_name(path.name.replace(repro.__version__, "0.0.0"))
+    path.rename(other)
+    assert store.load(spec) == {}
+    assert other.exists()  # ... and never destroyed

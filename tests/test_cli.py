@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_algorithm, build_graph, main
@@ -105,3 +107,54 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "cheap-simultaneous" in output
         assert "fast-simultaneous" in output
+
+
+class TestJsonOutput:
+    def test_sweep_json_is_canonical_and_machine_consumable(self, capsys):
+        args = ["sweep", "--graph", "ring", "--size", "6", "--algorithm",
+                "fast-sim", "--label-space", "4", "--no-cache", "--json"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["graph"] == {"family": "ring", "params": {"n": 6}}
+        assert payload["scenario"]["algorithm"]["name"] == "fast-sim"
+        result = payload["result"]
+        assert result["max_time"] <= result["time_bound"]
+        assert result["executions"] == payload["runtime"]["executions"]
+        assert set(result["worst_time_config"]) == {"labels", "starts", "delay"}
+
+    def test_sweep_json_identical_across_workers(self, capsys):
+        args = ["sweep", "--graph", "ring", "--size", "6", "--algorithm",
+                "fast-sim", "--label-space", "4", "--no-cache", "--json"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_run_json(self, capsys):
+        assert main(["run", "--json", "--labels", "2", "5", "--starts", "0", "6",
+                     "--delay", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["met"] is True
+        assert payload["execution"] == {"labels": [2, 5], "starts": [0, 6], "delay": 3}
+        assert payload["scenario"]["graph"]["family"] == "ring"
+
+    def test_new_registry_families_are_exposed(self, capsys):
+        assert main(["sweep", "--graph", "petersen", "--algorithm", "fast-sim",
+                     "--label-space", "3", "--no-cache"]) == 0
+        assert "petersen-10" in capsys.readouterr().out
+
+    def test_run_json_verbose_includes_traces(self, capsys):
+        assert main(["run", "--json", "--verbose", "--labels", "2", "5",
+                     "--starts", "0", "6"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [t["label"] for t in payload["traces"]] == [2, 5]
+
+    def test_no_cache_contradicts_cache_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="contradicts"):
+            main(["sweep", "--no-cache", "--cache-dir", str(tmp_path)])
+
+    def test_explicit_size_rejected_for_fixed_size_families(self):
+        with pytest.raises(SystemExit, match="fixed size"):
+            main(["sweep", "--graph", "petersen", "--size", "50",
+                  "--algorithm", "fast-sim", "--label-space", "3", "--no-cache"])

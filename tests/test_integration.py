@@ -9,7 +9,7 @@ import itertools
 
 import pytest
 
-from repro.analysis.sweep import worst_case_sweep
+from repro.api import sweep_objects
 from repro.analysis.tradeoff import tradeoff_points
 from repro.core import (
     Cheap,
@@ -58,7 +58,7 @@ def test_all_algorithms_meet_bounds_on_all_graphs(name, graph, transitive):
     ]
     for algorithm in algorithms:
         delays = (0,) if algorithm.requires_simultaneous_start else (0, 4)
-        row = worst_case_sweep(
+        row = sweep_objects(
             algorithm, graph, name, delays=delays, fix_first_start=transitive
         )
         assert row.time_within_bound, (name, algorithm.name, row)
@@ -156,4 +156,4 @@ def test_certificates_fit_their_hypotheses():
 def test_library_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"

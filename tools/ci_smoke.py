@@ -1,0 +1,115 @@
+"""CI smoke check for the CLI and the internal-deprecation policy.
+
+Three gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+
+1. ``python -m repro --help`` exits 0 in a fresh subprocess;
+2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
+   end-to-end in-process and prints parseable canonical JSON;
+3. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+   doing so -- the ``worst_case_sweep*`` shims exist for external
+   callers; package-internal code must use :mod:`repro.api` directly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import warnings
+from contextlib import redirect_stdout
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def fail(message: str) -> None:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_help() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        fail(f"--help exited {proc.returncode}: {proc.stderr}")
+    for command in ("run", "sweep", "certify", "explore", "tradeoff"):
+        if command not in proc.stdout:
+            fail(f"--help does not mention the {command!r} command")
+    print("help: OK")
+
+
+def run_cli_capturing(argv: list[str]) -> tuple[str, list[warnings.WarningMessage]]:
+    buffer = io.StringIO()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        # Imported inside the recorder so the first call also catches
+        # import-time deprecation warnings raised inside src/repro.
+        from repro.cli import main
+
+        with redirect_stdout(buffer):
+            code = main(argv)
+    if code != 0:
+        fail(f"{argv} exited {code}")
+    return buffer.getvalue(), caught
+
+
+def internal_deprecations(
+    caught: list[warnings.WarningMessage],
+) -> list[warnings.WarningMessage]:
+    marker = str(SRC / "repro")
+    return [
+        w
+        for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and str(pathlib.Path(w.filename).resolve()).startswith(marker)
+    ]
+
+
+def check_json_commands() -> None:
+    sys.path.insert(0, str(SRC))
+
+    sweep_out, sweep_warnings = run_cli_capturing(
+        ["sweep", "--graph", "ring", "--size", "6", "--algorithm", "fast-sim",
+         "--label-space", "4", "--no-cache", "--json"]
+    )
+    payload = json.loads(sweep_out)
+    if payload["scenario"]["graph"] != {"family": "ring", "params": {"n": 6}}:
+        fail(f"unexpected sweep scenario: {payload['scenario']}")
+    if payload["result"]["max_time"] > payload["result"]["time_bound"]:
+        fail("measured time exceeds the paper bound")
+    print("sweep --json: OK")
+
+    run_out, run_warnings = run_cli_capturing(
+        ["run", "--json", "--size", "6", "--label-space", "4",
+         "--labels", "1", "3", "--starts", "0", "3"]
+    )
+    if json.loads(run_out)["result"]["met"] is not True:
+        fail("run --json reported no meeting")
+    print("run --json: OK")
+
+    offenders = internal_deprecations(sweep_warnings + run_warnings)
+    if offenders:
+        lines = "\n".join(
+            f"  {w.filename}:{w.lineno}: {w.message}" for w in offenders
+        )
+        fail(f"DeprecationWarning raised from inside src/repro:\n{lines}")
+    print("no internal deprecation warnings: OK")
+
+
+def main() -> None:
+    check_help()
+    check_json_commands()
+    print("smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
