@@ -2,10 +2,16 @@
 
 Not a paper experiment -- these keep the infrastructure honest: the round
 simulator's cost per round, the prefix-sum ring executor's advantage over
-it, the ``Trim`` procedure's full pairwise sweep, and the experiment
-runtime's parallel-vs-serial sweep throughput.
+it, the ``Trim`` procedure's full pairwise sweep, the experiment runtime's
+parallel-vs-serial sweep throughput, and the compiled trajectory engine's
+speedup over the reactive simulator.  The compiled-vs-reactive comparison
+doubles as the perf baseline: ``python benchmarks/bench_engine.py`` (or
+the pytest bench, or the CI smoke job) rewrites ``BENCH_engine.json`` at
+the repository root so the numbers are tracked PR over PR.
 """
 
+import json
+import pathlib
 import time
 
 from repro.core.cheap import CheapSimultaneous
@@ -24,7 +30,16 @@ from repro.runtime import (
     canonical_json,
     execute_job,
 )
+from repro.sim.adversary import (
+    all_label_pairs,
+    configurations,
+    default_horizon,
+    worst_case_search,
+)
+from repro.sim.compiled import TrajectoryTable
 from repro.sim.simulator import simulate_rendezvous
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def test_engine_simulator_round_throughput(benchmark):
@@ -68,6 +83,92 @@ def test_engine_runtime_serial_sweep(benchmark):
     assert outcome.report.executions == RUNTIME_JOB.config_space_size()
 
 
+def compiled_engine_baseline(path: pathlib.Path | None = BASELINE_PATH) -> dict:
+    """Time one sweep on both engines, verify identity, record the baseline.
+
+    The sweep is the hot path of every measured number in the paper:
+    ordered label pairs x start pairs x delays on an oriented 16-ring with
+    delay-tolerant Fast.  Both engines must produce *equal* reports; the
+    returned (and, unless ``path`` is None, written) baseline records
+    configurations/s per engine, total simulated rounds, and the speedup.
+    """
+    graph = oriented_ring(16)
+    algorithm = Fast(RingExploration(16), 8)
+    configs = list(
+        configurations(
+            graph, all_label_pairs(8), delays=(0, 3, 15), fix_first_start=True
+        )
+    )
+
+    def horizon(config):
+        return default_horizon(algorithm, config)
+
+    started = time.perf_counter()
+    reactive = worst_case_search(graph, algorithm, configs, horizon, engine="reactive")
+    reactive_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    compiled = worst_case_search(graph, algorithm, configs, horizon, engine="compiled")
+    compiled_seconds = time.perf_counter() - started
+
+    assert compiled == reactive, "engines diverged; do not record a baseline"
+    assert not reactive.failures
+
+    # Rounds the reactive engine had to simulate: each execution runs to
+    # its meeting time (cheap to recompute from the compiled timelines).
+    table = TrajectoryTable(graph, algorithm)
+    rounds = 0
+    for config in configs:
+        met_at, _ = table.evaluate(config, horizon(config))
+        rounds += met_at if met_at is not None else horizon(config)
+
+    baseline = {
+        "benchmark": "worst-case sweep, compiled vs reactive engine",
+        "sweep": {
+            "algorithm": "fast",
+            "graph": "ring(n=16)",
+            "label_space": 8,
+            "delays": [0, 3, 15],
+            "fix_first_start": True,
+            "configurations": len(configs),
+            "rounds_simulated": rounds,
+        },
+        "reactive": {
+            "seconds": round(reactive_seconds, 4),
+            "configs_per_s": round(len(configs) / reactive_seconds, 1),
+            "rounds_per_s": round(rounds / reactive_seconds, 1),
+        },
+        "compiled": {
+            "seconds": round(compiled_seconds, 4),
+            "configs_per_s": round(len(configs) / compiled_seconds, 1),
+        },
+        "speedup": round(reactive_seconds / compiled_seconds, 2),
+        "reports_identical": True,
+    }
+    if path is not None:
+        path.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def test_engine_compiled_sweep_speedup(report):
+    """Compiled trajectories must beat the reactive sweep by >= 10x.
+
+    Also refreshes the ``BENCH_engine.json`` baseline, so running the
+    bench suite keeps the recorded perf trajectory current.
+    """
+    baseline = compiled_engine_baseline()
+    report([
+        f"adversary sweep: {baseline['sweep']['configurations']} configurations, "
+        f"{baseline['sweep']['rounds_simulated']} simulated rounds",
+        f"reactive {baseline['reactive']['seconds'] * 1000:.0f} ms "
+        f"({baseline['reactive']['configs_per_s']:.0f} configs/s), "
+        f"compiled {baseline['compiled']['seconds'] * 1000:.0f} ms "
+        f"({baseline['compiled']['configs_per_s']:.0f} configs/s) "
+        f"-> speedup x{baseline['speedup']:.1f}",
+    ])
+    assert baseline["speedup"] >= 10
+
+
 def test_engine_runtime_parallel_speedup(benchmark, report):
     """The same sweep on a 4-worker process pool, with a speedup readout.
 
@@ -92,3 +193,15 @@ def test_engine_runtime_parallel_speedup(benchmark, report):
         f"parallel(4) {parallel_seconds * 1000:.0f} ms "
         f"-> speedup x{serial_seconds / parallel_seconds:.2f}",
     ])
+
+
+if __name__ == "__main__":
+    # The CI smoke job runs this directly (no pytest needed): regenerate
+    # the baseline, print it, and fail loudly if the engines diverge or
+    # the speedup regresses below 10x.
+    summary = compiled_engine_baseline()
+    print(json.dumps(summary, indent=2))
+    if summary["speedup"] < 10:
+        raise SystemExit(
+            f"compiled engine speedup regressed to x{summary['speedup']}"
+        )

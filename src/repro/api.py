@@ -8,7 +8,9 @@ Both resolve names through the registries in :mod:`repro.registry`, build
 to :mod:`repro.runtime` job specs, serialize to dicts/JSON, and run
 through a single :meth:`Scenario.run` entry point that routes small jobs
 to the in-process serial executor and large ones to the sharded process
-pool -- with byte-identical reports either way.
+pool, and runs schedule-driven algorithms on the compiled trajectory
+engine (:mod:`repro.sim.compiled`) instead of the round simulator -- with
+byte-identical reports whichever way a sweep is executed.
 
 Quickstart::
 
@@ -75,7 +77,36 @@ from repro.sim.simulator import simulate_rendezvous
 #: spaces at least this large route to the process pool.
 AUTO_PARALLEL_THRESHOLD = 20_000
 
-_ENGINES = ("auto", "parallel", "serial")
+_ENGINES = ("auto", "compiled", "parallel", "serial")
+
+
+def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
+    """The per-configuration substrate an ``engine`` choice implies.
+
+    ``"serial"`` and ``"parallel"`` are explicit executor choices and keep
+    the reactive simulator.  ``"compiled"`` demands the compiled
+    trajectory engine and raises unless the registered algorithm declares
+    ``is_oblivious`` (the :class:`~repro.core.base.RendezvousAlgorithm`
+    flag marking a schedule-driven behaviour).  ``"auto"`` selects the
+    compiled engine exactly when that flag is declared, falling back to
+    the reactive simulator for everything else -- sound either way, since
+    the engines produce byte-identical reports wherever both apply.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {list(_ENGINES)}")
+    if engine in ("serial", "parallel"):
+        return "reactive"
+    oblivious = bool(
+        getattr(ALGORITHMS.entry(algorithm_name).target, "is_oblivious", False)
+    )
+    if engine == "compiled":
+        if not oblivious:
+            raise ValueError(
+                f"algorithm {algorithm_name!r} does not declare is_oblivious; "
+                "engine='compiled' needs a schedule-driven algorithm"
+            )
+        return "compiled"
+    return "compiled" if oblivious else "reactive"
 
 
 def _reject_nonzero_delays(
@@ -194,6 +225,7 @@ def sweep_objects(
     label_pairs: Iterable[tuple[int, int]] | None = None,
     fix_first_start: bool = False,
     sample: int | None = None,
+    engine: str = "reactive",
 ) -> SweepRow:
     """Adversarial worst-case search over live ``(algorithm, graph)`` objects.
 
@@ -202,7 +234,10 @@ def sweep_objects(
     cannot describe the job by value.  ``fix_first_start=True`` is only
     sound on vertex-transitive graphs; callers assert that themselves.
     Simultaneous-start-only algorithms reject non-zero delays loudly
-    rather than producing invalid rows.
+    rather than producing invalid rows.  ``engine`` is forwarded to
+    :func:`~repro.sim.adversary.worst_case_search` (``"auto"`` compiles
+    trajectories when the object declares ``is_oblivious``); the row is
+    identical either way.
     """
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, delays
@@ -224,6 +259,7 @@ def sweep_objects(
         ),
         max_rounds=horizon,
         sample=sample,
+        engine=engine,
     )
     return _row_from_report(algorithm, graph, graph_name, report)
 
@@ -250,6 +286,11 @@ def run_job(
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, spec.delays
     )
+    if spec.engine == "compiled" and not getattr(algorithm, "is_oblivious", False):
+        raise ValueError(
+            f"{algorithm.name} does not declare is_oblivious; "
+            "a compiled-engine job spec needs a schedule-driven algorithm"
+        )
     outcome = execute_job(
         spec, executor=executor, store=store, shard_count=shard_count, graph=graph
     )
@@ -268,9 +309,11 @@ def resolve_engine(
 ) -> Executor:
     """Map an ``engine`` choice (and optional worker count) to an executor.
 
-    ``"serial"`` and ``"parallel"`` are explicit; ``"auto"`` follows the
-    worker count when one is given, and otherwise routes spaces of at
-    least :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
+    ``"serial"`` and ``"parallel"`` are explicit; ``"auto"`` and
+    ``"compiled"`` (which constrains the simulation substrate, not the
+    executor -- see :func:`resolve_sim_engine`) follow the worker count
+    when one is given, and otherwise route spaces of at least
+    :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
     """
     if engine == "serial":
         if workers not in (None, 1):
@@ -280,7 +323,7 @@ def resolve_engine(
         return SerialExecutor()
     if engine == "parallel":
         return ParallelExecutor(workers)
-    if engine == "auto":
+    if engine in ("auto", "compiled"):
         if workers is not None:
             return make_executor(workers)
         if config_space_size >= AUTO_PARALLEL_THRESHOLD:
@@ -662,16 +705,22 @@ class Scenario:
         """Execute the worst-case sweep this scenario describes.
 
         The single entry point: ``engine`` picks the executor (see
-        :func:`resolve_engine`), ``cache`` the run store (see
-        :func:`resolve_store`).  Reports are byte-identical across
-        engines, worker counts and shard granularities.  ``graph`` may be
-        passed when the caller already built it from this scenario.  An
-        explicit ``executor`` overrides ``engine``/``workers`` and stays
-        open (the caller owns it -- how :meth:`Sweep.run` shares one pool
-        across grid points); executors resolved here are closed before
-        returning.
+        :func:`resolve_engine`) *and* the per-configuration substrate (see
+        :func:`resolve_sim_engine`) -- under the default ``"auto"``,
+        schedule-driven algorithms run on the compiled trajectory engine,
+        everything else on the reactive simulator.  ``cache`` picks the
+        run store (see :func:`resolve_store`).  Reports are byte-identical
+        across engines, worker counts and shard granularities.  ``graph``
+        may be passed when the caller already built it from this scenario.
+        An explicit ``executor`` overrides ``engine``/``workers`` for the
+        executor axis only and stays open (the caller owns it -- how
+        :meth:`Sweep.run` shares one pool across grid points); executors
+        resolved here are closed before returning.
         """
         spec = self.job_spec()
+        sim_engine = resolve_sim_engine(engine, self.algorithm)
+        if sim_engine != spec.engine:
+            spec = replace(spec, engine=sim_engine)
         graph = graph if graph is not None else spec.graph.build()
         owned = executor is None
         if executor is None:
@@ -893,6 +942,7 @@ __all__ = [
     "SweepRun",
     "canonical_json",
     "resolve_engine",
+    "resolve_sim_engine",
     "resolve_store",
     "run_job",
     "sweep_objects",

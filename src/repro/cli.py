@@ -5,6 +5,8 @@ Commands:
 * ``run`` -- simulate one rendezvous and print the outcome and traces;
 * ``sweep`` -- adversarial worst-case sweep of a scenario (sharded over
   the runtime: ``--workers N`` fans shards out to a process pool;
+  ``--engine`` picks the execution engine, with the default ``auto``
+  running schedule-driven algorithms on the compiled trajectory engine;
   completed shards are cached in ``.repro_cache/`` unless ``--no-cache``
   is given, so reruns and interrupted sweeps resume);
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
@@ -177,6 +179,8 @@ def command_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.engine == "serial" and args.workers != 1:
+        raise SystemExit("--engine serial runs in-process; --workers contradicts it")
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache contradicts --cache-dir")
     simultaneous = getattr(
@@ -187,7 +191,7 @@ def command_sweep(args: argparse.Namespace) -> int:
     graph = _from_flags(scenario.build_graph)
     store = None if args.no_cache else resolve_store(True, args.cache_dir)
     run = scenario.run(
-        engine="auto",
+        engine=args.engine,
         workers=args.workers,
         cache=store,
         shard_count=args.shards,
@@ -324,6 +328,12 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep")
     common(sweep_parser)
     sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
+    sweep_parser.add_argument("--engine", default="auto",
+                              choices=["auto", "compiled", "parallel", "serial"],
+                              help="execution engine (default auto: compiled "
+                                   "trajectories for schedule-driven algorithms, "
+                                   "reactive simulation otherwise; reports are "
+                                   "byte-identical)")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="process-pool workers (default 1 = serial)")
     sweep_parser.add_argument("--shards", type=int, default=None,

@@ -31,6 +31,16 @@ class RendezvousAlgorithm(ABC):
     #: (the simultaneous-start variants of Section 2).
     requires_simultaneous_start: bool = False
 
+    #: True for algorithms whose whole behaviour is the declared
+    #: :meth:`schedule` run through ``schedule_program``: the trajectory
+    #: of an agent depends only on its ``(label, start)``, never on the
+    #: other agent.  Such algorithms are eligible for the compiled
+    #: trajectory engine (:mod:`repro.sim.compiled`).  Deliberately
+    #: conservative: ``False`` here, set ``True`` by the paper's
+    #: algorithms; a subclass that overrides ``__call__``/``body`` with
+    #: reactive behaviour must leave it ``False``.
+    is_oblivious: bool = False
+
     def __init__(self, exploration: ExplorationProcedure, label_space: int):
         if label_space < 2:
             raise ValueError(
@@ -38,6 +48,7 @@ class RendezvousAlgorithm(ABC):
             )
         self.exploration = exploration
         self.label_space = label_space
+        self._schedule_lengths: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -77,9 +88,16 @@ class RendezvousAlgorithm(ABC):
         """Exact number of rounds in agent ``label``'s schedule.
 
         ``simulate_rendezvous`` uses this to derive a sufficient horizon:
-        a correct algorithm meets before both schedules end.
+        a correct algorithm meets before both schedules end.  Memoised per
+        label: adversary sweeps ask for it once per configuration, and
+        rebuilding the :class:`~repro.core.schedule.Schedule` each time
+        would dominate the compiled engine's per-configuration work.
         """
-        return self.schedule(label).total_rounds(self.exploration_budget)
+        cached = self._schedule_lengths.get(label)
+        if cached is None:
+            cached = self.schedule(label).total_rounds(self.exploration_budget)
+            self._schedule_lengths[label] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Declared complexity (each subclass wires the right formula in)

@@ -36,6 +36,7 @@ class FastWithRelabeling(RendezvousAlgorithm):
     """Delay-tolerant FastWithRelabeling(w)."""
 
     name = "fast-relabel"
+    is_oblivious = True
 
     def __init__(
         self, exploration: ExplorationProcedure, label_space: int, weight: int
@@ -78,6 +79,7 @@ class FastWithRelabelingSimultaneous(RendezvousAlgorithm):
 
     name = "fast-relabel-simultaneous"
     requires_simultaneous_start = True
+    is_oblivious = True
 
     def __init__(
         self, exploration: ExplorationProcedure, label_space: int, weight: int

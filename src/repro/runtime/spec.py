@@ -218,6 +218,10 @@ class AlgorithmSpec:
         )
 
 
+#: The two per-configuration execution substrates a worker can run.
+SIM_ENGINES = ("reactive", "compiled")
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One unit of adversary-search work, serializable by value.
@@ -227,6 +231,15 @@ class JobSpec:
     ``horizon=None`` means each execution's round budget is derived from
     the algorithm's own schedule (``delay + max schedule length``), which
     is how :func:`repro.api.sweep_objects` runs.
+
+    ``engine`` picks the per-configuration substrate a worker uses:
+    ``"reactive"`` (the round simulator) or ``"compiled"`` (the
+    trajectory engine of :mod:`repro.sim.compiled`, valid only for
+    schedule-driven algorithms).  Reports are byte-identical either way.
+    A non-default engine participates in the content key, so a run-store
+    entry records exactly how it was produced -- while reactive specs
+    serialize exactly as before this field existed, keeping their
+    run-store entries reachable.
     """
 
     algorithm: AlgorithmSpec
@@ -237,6 +250,14 @@ class JobSpec:
     presence: str = "from-start"
     horizon: int | None = None
     shard: tuple[int, int] | None = None
+    engine: str = "reactive"
+
+    def __post_init__(self) -> None:
+        if self.engine not in SIM_ENGINES:
+            raise ValueError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"choose from {list(SIM_ENGINES)}"
+            )
 
     # ------------------------------------------------------------------
     # Shard algebra
@@ -310,7 +331,7 @@ class JobSpec:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "algorithm": self.algorithm.to_dict(),
             "graph": self.graph.to_dict(),
             "delays": list(self.delays),
@@ -324,6 +345,12 @@ class JobSpec:
             "horizon": self.horizon,
             "shard": None if self.shard is None else list(self.shard),
         }
+        if self.engine != "reactive":
+            # Emitted only when not the default, so reactive sweeps keep
+            # their pre-engine content hashes -- and hence their run-store
+            # entries -- unchanged.
+            payload["engine"] = self.engine
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
@@ -342,6 +369,7 @@ class JobSpec:
             presence=payload.get("presence", "from-start"),
             horizon=payload.get("horizon"),
             shard=None if shard is None else (shard[0], shard[1]),
+            engine=payload.get("engine", "reactive"),
         )
 
     def key(self) -> str:

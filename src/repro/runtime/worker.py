@@ -5,6 +5,13 @@ argument so it can be submitted to a ``ProcessPoolExecutor`` unchanged.
 Graphs and algorithms are rebuilt from the spec on first use and memoised
 per process (pool workers are long-lived, so a worker pays the
 construction cost once per distinct job, not once per shard).
+
+The spec's ``engine`` picks the per-configuration substrate: the reactive
+round simulator, or the compiled trajectory engine
+(:mod:`repro.sim.compiled`), whose ``(label, start)`` trajectory table is
+likewise memoised per process so shards of one sweep share compilations.
+Either way the measured ``(time, cost)`` per configuration -- and hence
+the shard report -- is identical.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from repro.registry import PRESENCE_MODELS
 from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport
 from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
 from repro.sim.adversary import default_horizon
+from repro.sim.compiled import TrajectoryTable
 from repro.sim.simulator import simulate_rendezvous
 
 
@@ -26,6 +34,14 @@ def _materialize(
 ) -> tuple[PortLabeledGraph, RendezvousAlgorithm]:
     graph = graph_spec.build()
     return graph, algorithm_spec.build(graph)
+
+
+@lru_cache(maxsize=8)
+def _trajectory_table(
+    graph_spec: GraphSpec, algorithm_spec: AlgorithmSpec
+) -> TrajectoryTable:
+    graph, algorithm = _materialize(graph_spec, algorithm_spec)
+    return TrajectoryTable(graph, algorithm)
 
 
 def run_shard(spec: JobSpec) -> ShardReport:
@@ -42,6 +58,26 @@ def run_shard(spec: JobSpec) -> ShardReport:
     presence = PRESENCE_MODELS.get(spec.presence)  # SpecError if unknown
     lo, hi = spec.shard if spec.shard is not None else (0, spec.config_space_size(graph))
 
+    if spec.engine == "compiled":
+        table = _trajectory_table(spec.graph, spec.algorithm)
+
+        def measure(config, horizon):
+            return table.evaluate(config, horizon, presence)
+
+    else:
+
+        def measure(config, horizon):
+            result = simulate_rendezvous(
+                graph,
+                algorithm,
+                labels=config.labels,
+                starts=config.starts,
+                delay=config.delay,
+                max_rounds=horizon,
+                presence=presence,
+            )
+            return (result.time if result.met else None), result.cost
+
     worst_time: ExtremeSummary | None = None
     worst_cost: ExtremeSummary | None = None
     failures: list[ConfigRef] = []
@@ -53,17 +89,9 @@ def run_shard(spec: JobSpec) -> ShardReport:
             if spec.horizon is not None
             else default_horizon(algorithm, config)
         )
-        result = simulate_rendezvous(
-            graph,
-            algorithm,
-            labels=config.labels,
-            starts=config.starts,
-            delay=config.delay,
-            max_rounds=horizon,
-            presence=presence,
-        )
+        time, cost = measure(config, horizon)
         executions += 1
-        if not result.met:
+        if time is None:
             failures.append(
                 ConfigRef(
                     index=index,
@@ -73,14 +101,13 @@ def run_shard(spec: JobSpec) -> ShardReport:
                 )
             )
             continue
-        assert result.time is not None
         summary = ExtremeSummary(
             index=index,
             labels=config.labels,
             starts=config.starts,
             delay=config.delay,
-            time=result.time,
-            cost=result.cost,
+            time=time,
+            cost=cost,
         )
         if worst_time is None or summary.time > worst_time.time:
             worst_time = summary

@@ -16,9 +16,21 @@ from repro.sim.actions import WAIT, Action, is_move
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, ProgramFactory, ReactiveProgram, idle
 from repro.sim.metrics import RendezvousResult
-from repro.sim.simulator import AgentSpec, PresenceModel, Simulator, simulate_rendezvous
+from repro.sim.simulator import (
+    AgentSpec,
+    PresenceModel,
+    Simulator,
+    default_max_rounds,
+    simulate_rendezvous,
+)
 from repro.sim.trace import AgentTrace
 from repro.sim.adversary import WorstCaseReport, worst_case_search
+from repro.sim.compiled import (
+    CompiledTrajectory,
+    TrajectoryTable,
+    compile_trajectory,
+    compiled_worst_case_search,
+)
 from repro.sim.gathering import GatheringResult, GatheringSimulator, GatheringSpec, gather
 
 __all__ = [
@@ -27,6 +39,7 @@ __all__ = [
     "AgentContext",
     "AgentSpec",
     "AgentTrace",
+    "CompiledTrajectory",
     "GatheringResult",
     "GatheringSimulator",
     "GatheringSpec",
@@ -37,7 +50,11 @@ __all__ = [
     "ReactiveProgram",
     "RendezvousResult",
     "Simulator",
+    "TrajectoryTable",
     "WorstCaseReport",
+    "compile_trajectory",
+    "compiled_worst_case_search",
+    "default_max_rounds",
     "idle",
     "is_move",
     "simulate_rendezvous",

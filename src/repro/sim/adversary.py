@@ -18,7 +18,11 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.metrics import RendezvousResult
 from repro.sim.program import ProgramFactory
-from repro.sim.simulator import PresenceModel, simulate_rendezvous
+from repro.sim.simulator import (
+    PresenceModel,
+    default_max_rounds,
+    simulate_rendezvous,
+)
 
 
 @dataclass(frozen=True)
@@ -39,7 +43,10 @@ class ExtremeRecord:
 
     @property
     def time(self) -> int:
-        assert self.result.time is not None
+        # A hard error, not an assert: under ``python -O`` an assert
+        # vanishes and a None would flow silently into max comparisons.
+        if self.result.time is None:
+            raise ValueError("record carries an execution that never met")
         return self.result.time
 
     @property
@@ -129,15 +136,18 @@ def default_horizon(algorithm: Any, config: Configuration) -> int:
     """The standard round budget for one configuration.
 
     The later agent's schedule end plus the wake-up delay -- a correct
-    algorithm must meet before both schedules run out.  Shared by the
-    serial sweep and the runtime workers so the two paths can never
-    disagree on ``max_rounds``.  ``algorithm`` is anything exposing
-    ``schedule_length`` (every :mod:`repro.core` algorithm does).
+    algorithm must meet before both schedules run out.  A thin delegation
+    to :func:`repro.sim.simulator.default_max_rounds`, the single
+    statement of that formula shared with ``simulate_rendezvous``; the
+    serial sweep and the runtime workers all route through here, so no
+    path can disagree on ``max_rounds``.  ``algorithm`` is anything
+    exposing ``schedule_length`` (every :mod:`repro.core` algorithm does).
     """
-    return config.delay + max(
-        algorithm.schedule_length(config.labels[0]),
-        algorithm.schedule_length(config.labels[1]),
-    )
+    return default_max_rounds(algorithm, config.labels, config.delay)
+
+
+#: Valid values of ``worst_case_search``'s ``engine`` argument.
+SEARCH_ENGINES = ("reactive", "compiled", "auto")
 
 
 def worst_case_search(
@@ -148,6 +158,7 @@ def worst_case_search(
     presence: PresenceModel = PresenceModel.FROM_START,
     sample: int | None = None,
     rng: random.Random | None = None,
+    engine: str = "reactive",
 ) -> WorstCaseReport:
     """Run every configuration and keep the extremes.
 
@@ -155,11 +166,36 @@ def worst_case_search(
     configuration (e.g., the algorithm's own schedule bound plus the delay).
     With ``sample`` set, at most that many configurations are examined,
     drawn uniformly with ``rng`` (exhaustiveness traded for scale).
+
+    ``engine`` selects the execution substrate and never the semantics --
+    the reports are identical, field for field, trace for trace:
+
+    * ``"reactive"`` runs each configuration through the round simulator;
+    * ``"compiled"`` compiles each agent's trajectory once per
+      ``(label, start)`` and scans timelines (:mod:`repro.sim.compiled`);
+      requires a schedule-driven factory exposing ``schedule_length``;
+    * ``"auto"`` picks ``"compiled"`` exactly when the factory declares
+      ``is_oblivious`` (see :class:`repro.core.base.RendezvousAlgorithm`).
     """
+    if engine not in SEARCH_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {list(SEARCH_ENGINES)}"
+        )
     config_list = list(configs)
     if sample is not None and sample < len(config_list):
         rng = rng or random.Random(0xC0FFEE)
         config_list = rng.sample(config_list, sample)
+
+    if engine == "auto":
+        engine = "compiled" if getattr(factory, "is_oblivious", False) else "reactive"
+    if engine == "compiled":
+        # Imported lazily: repro.sim.compiled imports this module's report
+        # types, so the dependency arrow at import time points one way.
+        from repro.sim.compiled import compiled_worst_case_search
+
+        return compiled_worst_case_search(
+            graph, factory, config_list, max_rounds, presence
+        )
 
     worst_time: ExtremeRecord | None = None
     worst_cost: ExtremeRecord | None = None

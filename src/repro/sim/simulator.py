@@ -270,6 +270,28 @@ class Simulator:
         )
 
 
+def default_max_rounds(
+    factory: ProgramFactory, labels: tuple[int, int], delay: int
+) -> int:
+    """The standard round budget: the later agent's schedule end.
+
+    ``delay`` plus the longer of the two agents' schedules -- a correct
+    algorithm must meet before both schedules run out.  This is the
+    *single* statement of that formula: :func:`simulate_rendezvous` (for
+    an omitted ``max_rounds``) and
+    :func:`repro.sim.adversary.default_horizon` (for sweeps, serial and
+    runtime alike) both delegate here, so the two can never drift.
+    ``factory`` must expose ``schedule_length`` (every :mod:`repro.core`
+    algorithm does).
+    """
+    schedule_length = getattr(factory, "schedule_length", None)
+    if schedule_length is None:
+        raise ValueError(
+            "pass max_rounds explicitly for factories without schedule_length"
+        )
+    return delay + max(schedule_length(labels[0]), schedule_length(labels[1]))
+
+
 def simulate_rendezvous(
     graph: PortLabeledGraph,
     factory: ProgramFactory,
@@ -285,18 +307,13 @@ def simulate_rendezvous(
 
     The second agent wakes ``delay`` rounds after the first.  When
     ``max_rounds`` is omitted and ``factory`` exposes a ``schedule_length``
-    method (all algorithms in :mod:`repro.core` do), the horizon is taken as
-    the later agent's schedule end plus one exploration of slack.
+    method (all algorithms in :mod:`repro.core` do), the horizon is
+    :func:`default_max_rounds`: the later agent's schedule end (its
+    schedule length plus the delay) -- the same formula every adversary
+    sweep uses.
     """
     if max_rounds is None:
-        schedule_length = getattr(factory, "schedule_length", None)
-        if schedule_length is None:
-            raise ValueError(
-                "pass max_rounds explicitly for factories without schedule_length"
-            )
-        max_rounds = delay + max(
-            schedule_length(labels[0]), schedule_length(labels[1])
-        )
+        max_rounds = default_max_rounds(factory, labels, delay)
     specs = [
         AgentSpec(
             label=labels[0],

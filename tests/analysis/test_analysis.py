@@ -3,9 +3,9 @@
 import pytest
 
 from repro.analysis.ascii_plot import scatter_plot
-from repro.analysis.sweep import worst_case_sweep
 from repro.analysis.tables import Table, format_ratio
 from repro.analysis.tradeoff import tradeoff_points
+from repro.api import sweep_objects
 from repro.core.cheap import Cheap, CheapSimultaneous
 from repro.core.fast import FastSimultaneous
 from repro.exploration.ring import RingExploration
@@ -36,7 +36,7 @@ class TestTable:
 class TestSweep:
     def test_sweep_row_contents(self, ring12, ring12_exploration):
         algorithm = Cheap(ring12_exploration, label_space=4)
-        row = worst_case_sweep(
+        row = sweep_objects(
             algorithm, ring12, "ring-12", delays=(0, 5), fix_first_start=True
         )
         assert row.algorithm == "cheap"
@@ -48,11 +48,11 @@ class TestSweep:
     def test_simultaneous_algorithms_reject_delays(self, ring12, ring12_exploration):
         algorithm = CheapSimultaneous(ring12_exploration, label_space=4)
         with pytest.raises(ValueError, match="simultaneous"):
-            worst_case_sweep(algorithm, ring12, "ring-12", delays=(0, 3))
+            sweep_objects(algorithm, ring12, "ring-12", delays=(0, 3))
 
     def test_sampling(self, ring12, ring12_exploration):
         algorithm = Cheap(ring12_exploration, label_space=4)
-        row = worst_case_sweep(
+        row = sweep_objects(
             algorithm, ring12, "ring-12", fix_first_start=True, sample=20
         )
         assert row.executions == 20

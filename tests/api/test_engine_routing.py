@@ -1,0 +1,159 @@
+"""Engine routing: how ``engine=`` choices map to executors and substrates.
+
+The executor axis (serial / process pool) and the simulation substrate
+(reactive / compiled trajectories) are independent; these tests pin down
+the mapping -- ``auto`` compiles schedule-driven algorithms, explicit
+``serial``/``parallel`` stay reactive, ``compiled`` demands the flag --
+and that every combination produces byte-identical reports.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Scenario, resolve_sim_engine
+from repro.cli import main as cli_main
+from repro.core.cheap import Cheap
+from repro.registry import SpecError
+from repro.runtime import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_job,
+)
+from repro.runtime.spec import canonical_json
+
+
+def tiny(**overrides) -> Scenario:
+    base = dict(
+        graph="ring",
+        graph_params={"n": 6},
+        algorithm="cheap",
+        label_space=3,
+        delays=(0, 2),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def ring_job(**overrides) -> JobSpec:
+    base = dict(
+        algorithm=AlgorithmSpec("fast", 4),
+        graph=GraphSpec.make("ring", n=8),
+        delays=(0, 3),
+        fix_first_start=True,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestResolveSimEngine:
+    def test_auto_compiles_schedule_driven_algorithms(self):
+        for name in ("cheap", "cheap-sim", "fast", "fast-sim", "fwr", "fwr-sim"):
+            assert resolve_sim_engine("auto", name) == "compiled"
+
+    def test_explicit_executor_choices_stay_reactive(self):
+        assert resolve_sim_engine("serial", "cheap") == "reactive"
+        assert resolve_sim_engine("parallel", "cheap") == "reactive"
+
+    def test_compiled_is_explicit(self):
+        assert resolve_sim_engine("compiled", "fast") == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_sim_engine("warp", "cheap")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SpecError):
+            resolve_sim_engine("auto", "nope")
+
+    def test_compiled_requires_the_flag(self, monkeypatch):
+        monkeypatch.setattr(Cheap, "is_oblivious", False)
+        assert resolve_sim_engine("auto", "cheap") == "reactive"
+        with pytest.raises(ValueError, match="is_oblivious"):
+            resolve_sim_engine("compiled", "cheap")
+
+
+class TestJobSpecEngine:
+    def test_round_trips_and_distinguishes_keys(self):
+        compiled = ring_job(engine="compiled")
+        reactive = ring_job()
+        assert JobSpec.from_dict(compiled.to_dict()) == compiled
+        assert compiled.key() != reactive.key()
+        assert compiled.shard_spec(0, 5).sweep_spec() == compiled
+
+    def test_reactive_specs_serialize_as_before_the_field_existed(self):
+        # Pre-engine run-store entries must stay reachable: a reactive
+        # spec's payload (and hence its content key) carries no "engine".
+        payload = ring_job().to_dict()
+        assert "engine" not in payload
+        assert JobSpec.from_dict(payload).engine == "reactive"
+        assert ring_job(engine="compiled").to_dict()["engine"] == "compiled"
+
+    def test_invalid_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="simulation engine"):
+            ring_job(engine="warp")
+
+
+class TestExecutionEquivalence:
+    def test_execute_job_is_engine_invariant(self):
+        reactive = execute_job(ring_job(), executor=SerialExecutor())
+        compiled = execute_job(ring_job(engine="compiled"), executor=SerialExecutor())
+        assert canonical_json(compiled.report.to_dict()) == canonical_json(
+            reactive.report.to_dict()
+        )
+
+    def test_compiled_shards_survive_the_process_pool(self):
+        serial = execute_job(
+            ring_job(engine="compiled"), executor=SerialExecutor(), shard_count=5
+        )
+        with ParallelExecutor(2) as executor:
+            parallel = execute_job(
+                ring_job(engine="compiled"), executor=executor, shard_count=5
+            )
+        assert canonical_json(parallel.report.to_dict()) == canonical_json(
+            serial.report.to_dict()
+        )
+
+    def test_scenario_reports_are_engine_invariant(self):
+        scenario = tiny()
+        by_engine = {
+            engine: scenario.run(engine=engine)
+            for engine in ("serial", "auto", "compiled")
+        }
+        reference = by_engine["serial"].to_json()
+        assert all(run.to_json() == reference for run in by_engine.values())
+
+    def test_auto_records_the_compiled_engine_in_provenance(self):
+        from dataclasses import replace
+
+        scenario = tiny()
+        auto = scenario.run(engine="auto")
+        serial = scenario.run(engine="serial")
+        spec = scenario.job_spec()
+        assert serial.stats.sweep_key == spec.key()
+        assert auto.stats.sweep_key == replace(spec, engine="compiled").key()
+
+    def test_run_job_rejects_compiled_for_undeclared_algorithms(self, monkeypatch):
+        scenario = tiny()
+        monkeypatch.setattr(Cheap, "is_oblivious", False)
+        with pytest.raises(ValueError, match="is_oblivious"):
+            scenario.run(engine="compiled")
+
+
+class TestCliEngineFlag:
+    def test_sweep_json_engine_invariance(self, capsys):
+        argv = ["sweep", "--graph", "ring", "--size", "6", "--algorithm", "cheap",
+                "--label-space", "3", "--delays", "0", "2", "--no-cache", "--json"]
+        payloads = {}
+        for engine in ("serial", "compiled"):
+            assert cli_main(argv + ["--engine", engine]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            payloads[engine] = {k: payload[k] for k in ("scenario", "result")}
+        assert payloads["serial"] == payloads["compiled"]
+
+    def test_serial_engine_contradicts_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            cli_main(["sweep", "--engine", "serial", "--workers", "2", "--no-cache"])

@@ -3,13 +3,19 @@
 import pytest
 
 from repro.core import CheapSimultaneous, Fast
+from repro.core.ablations import CheapShortWait
+from repro.exploration.dfs import KnownMapDFS
 from repro.exploration.ring import RingExploration
+from repro.graphs.families import star_graph
 from repro.sim.adversary import (
     Configuration,
+    ExtremeRecord,
     all_label_pairs,
     configurations,
+    default_horizon,
     worst_case_search,
 )
+from repro.sim.simulator import default_max_rounds, simulate_rendezvous
 
 
 class TestConfigurationEnumeration:
@@ -69,6 +75,24 @@ class TestWorstCaseSearch:
         with pytest.raises(ValueError, match="no successful execution"):
             _ = report.max_time
 
+    def test_unmet_record_raises_instead_of_returning_none(self, ring12, ring12_exploration):
+        """Regression: ``ExtremeRecord.time`` used to be a bare assert,
+        which ``python -O`` strips -- a None would then flow into max
+        comparisons.  It must be a hard ValueError, like
+        ``WorstCaseReport.max_time``."""
+        algorithm = Fast(ring12_exploration, label_space=4)
+        unmet = simulate_rendezvous(
+            ring12, algorithm, labels=(1, 2), starts=(0, 6), max_rounds=1
+        )
+        assert not unmet.met
+        record = ExtremeRecord(
+            config=Configuration(labels=(1, 2), starts=(0, 6), delay=0),
+            result=unmet,
+        )
+        with pytest.raises(ValueError, match="never met"):
+            _ = record.time
+        assert record.cost == unmet.cost  # cost stays well-defined
+
     def test_sampling_limits_executions(self, ring12, ring12_exploration):
         algorithm = Fast(ring12_exploration, label_space=4)
         report = worst_case_search(
@@ -80,3 +104,35 @@ class TestWorstCaseSearch:
         )
         assert report.executions == 10
         assert not report.failures
+
+
+class TestDefaultHorizon:
+    def test_one_formula_everywhere(self, ring12, ring12_exploration):
+        """``default_horizon`` and ``simulate_rendezvous``'s implicit
+        horizon are the same delegation to ``default_max_rounds``."""
+        algorithm = Fast(ring12_exploration, label_space=4)
+        config = Configuration(labels=(3, 1), starts=(0, 5), delay=7)
+        expected = 7 + max(algorithm.schedule_length(3), algorithm.schedule_length(1))
+        assert default_horizon(algorithm, config) == expected
+        assert default_max_rounds(algorithm, config.labels, config.delay) == expected
+
+    def test_simulate_rendezvous_defaults_to_the_shared_horizon(self):
+        """With ``max_rounds`` omitted, a failing execution runs exactly
+        ``delay + max(schedule lengths)`` rounds -- no hidden slack (the
+        old docstring promised one exploration of slack the code never
+        added)."""
+        star = star_graph(6)
+        algorithm = CheapShortWait(KnownMapDFS(star), label_space=4)
+        config = Configuration(labels=(2, 1), starts=(0, 5), delay=2)
+        result = simulate_rendezvous(
+            star, algorithm, labels=config.labels, starts=config.starts, delay=2
+        )
+        assert not result.met  # the ablation's known failure mode
+        assert result.rounds_executed == default_horizon(algorithm, config)
+
+    def test_factories_without_schedule_length_require_explicit_horizon(self, ring12):
+        def bare_factory(ctx):
+            obs = yield
+
+        with pytest.raises(ValueError, match="max_rounds"):
+            simulate_rendezvous(ring12, bare_factory, labels=(1, 2), starts=(0, 3))
