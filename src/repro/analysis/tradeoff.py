@@ -45,13 +45,19 @@ def tradeoff_points(
     fix_first_start: bool = True,
     sample: int | None = None,
     label_pairs: Sequence[tuple[int, int]] | None = None,
+    engine: str = "auto",
 ) -> list[TradeoffPoint]:
     """Worst-case (cost, time) for each algorithm on the same instance.
 
     Simultaneous-start-only algorithms are swept with delay 0 regardless
     of ``delays`` (their schedules are only meaningful there).  At large
     ``L`` the exhaustive pair sweep is infeasible; pass ``label_pairs``
-    with the adversarial pairs of interest instead.
+    with the adversarial pairs of interest instead.  ``engine`` is
+    forwarded to :func:`repro.api.sweep_objects`; the default ``"auto"``
+    runs each schedule-driven algorithm on the fastest available engine
+    (batch, then compiled) instead of the reactive simulator, with
+    identical points -- curve assembly over many algorithms is exactly
+    the dense workload the batch engine accelerates.
     """
     points = []
     for algorithm in algorithms:
@@ -64,6 +70,7 @@ def tradeoff_points(
             fix_first_start=fix_first_start,
             sample=sample,
             label_pairs=label_pairs,
+            engine=engine,
         )
         points.append(
             TradeoffPoint(

@@ -8,9 +8,11 @@ Both resolve names through the registries in :mod:`repro.registry`, build
 to :mod:`repro.runtime` job specs, serialize to dicts/JSON, and run
 through a single :meth:`Scenario.run` entry point that routes small jobs
 to the in-process serial executor and large ones to the sharded process
-pool, and runs schedule-driven algorithms on the compiled trajectory
-engine (:mod:`repro.sim.compiled`) instead of the round simulator -- with
-byte-identical reports whichever way a sweep is executed.
+pool, and runs schedule-driven algorithms on the vectorized batch engine
+(:mod:`repro.sim.batch`, when NumPy is installed) or the compiled
+trajectory engine (:mod:`repro.sim.compiled`) instead of the round
+simulator -- with byte-identical reports whichever way a sweep is
+executed.
 
 Quickstart::
 
@@ -63,6 +65,7 @@ from repro.runtime.spec import (
     thaw_value,
 )
 from repro.runtime.store import DEFAULT_CACHE_DIR, RunStore
+from repro.sim import batch as sim_batch
 from repro.sim.adversary import (
     Configuration,
     all_label_pairs,
@@ -77,7 +80,7 @@ from repro.sim.simulator import simulate_rendezvous
 #: spaces at least this large route to the process pool.
 AUTO_PARALLEL_THRESHOLD = 20_000
 
-_ENGINES = ("auto", "compiled", "parallel", "serial")
+_ENGINES = ("auto", "batch", "compiled", "parallel", "serial")
 
 
 def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
@@ -85,12 +88,16 @@ def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
 
     ``"serial"`` and ``"parallel"`` are explicit executor choices and keep
     the reactive simulator.  ``"compiled"`` demands the compiled
-    trajectory engine and raises unless the registered algorithm declares
-    ``is_oblivious`` (the :class:`~repro.core.base.RendezvousAlgorithm`
-    flag marking a schedule-driven behaviour).  ``"auto"`` selects the
-    compiled engine exactly when that flag is declared, falling back to
-    the reactive simulator for everything else -- sound either way, since
-    the engines produce byte-identical reports wherever both apply.
+    trajectory engine and ``"batch"`` the vectorized NumPy engine; both
+    raise unless the registered algorithm declares ``is_oblivious`` (the
+    :class:`~repro.core.base.RendezvousAlgorithm` flag marking a
+    schedule-driven behaviour), and ``"batch"`` additionally raises a
+    loud :class:`~repro.sim.batch.BatchUnavailableError` when NumPy is
+    not importable.  ``"auto"`` selects the fastest sound substrate:
+    ``"batch"`` when the flag is declared and NumPy is importable,
+    ``"compiled"`` when only the flag is, and the reactive simulator for
+    everything else -- sound any way, since the engines produce
+    byte-identical reports wherever they all apply.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {list(_ENGINES)}")
@@ -99,14 +106,18 @@ def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
     oblivious = bool(
         getattr(ALGORITHMS.entry(algorithm_name).target, "is_oblivious", False)
     )
-    if engine == "compiled":
+    if engine in ("batch", "compiled"):
         if not oblivious:
             raise ValueError(
                 f"algorithm {algorithm_name!r} does not declare is_oblivious; "
-                "engine='compiled' needs a schedule-driven algorithm"
+                f"engine={engine!r} needs a schedule-driven algorithm"
             )
-        return "compiled"
-    return "compiled" if oblivious else "reactive"
+        if engine == "batch":
+            sim_batch.require_numpy()
+        return engine
+    if not oblivious:
+        return "reactive"
+    return "batch" if sim_batch.numpy_available() else "compiled"
 
 
 def _reject_nonzero_delays(
@@ -235,9 +246,11 @@ def sweep_objects(
     sound on vertex-transitive graphs; callers assert that themselves.
     Simultaneous-start-only algorithms reject non-zero delays loudly
     rather than producing invalid rows.  ``engine`` is forwarded to
-    :func:`~repro.sim.adversary.worst_case_search` (``"auto"`` compiles
-    trajectories when the object declares ``is_oblivious``); the row is
-    identical either way.
+    :func:`~repro.sim.adversary.worst_case_search` (``"auto"`` runs
+    objects declaring ``is_oblivious`` on the vectorized batch engine
+    when NumPy is importable, on compiled trajectories otherwise); the
+    row is identical whichever engine runs, and with ``sample=None`` the
+    configuration stream is consumed lazily rather than materialized.
     """
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, delays
@@ -286,11 +299,17 @@ def run_job(
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, spec.delays
     )
-    if spec.engine == "compiled" and not getattr(algorithm, "is_oblivious", False):
+    if spec.engine in ("compiled", "batch") and not getattr(
+        algorithm, "is_oblivious", False
+    ):
         raise ValueError(
             f"{algorithm.name} does not declare is_oblivious; "
-            "a compiled-engine job spec needs a schedule-driven algorithm"
+            f"a {spec.engine}-engine job spec needs a schedule-driven algorithm"
         )
+    if spec.engine == "batch":
+        # Fail fast with the install hint here rather than deep inside a
+        # worker process (every pool worker would raise the same error).
+        sim_batch.require_numpy()
     outcome = execute_job(
         spec, executor=executor, store=store, shard_count=shard_count, graph=graph
     )
@@ -309,11 +328,11 @@ def resolve_engine(
 ) -> Executor:
     """Map an ``engine`` choice (and optional worker count) to an executor.
 
-    ``"serial"`` and ``"parallel"`` are explicit; ``"auto"`` and
-    ``"compiled"`` (which constrains the simulation substrate, not the
-    executor -- see :func:`resolve_sim_engine`) follow the worker count
-    when one is given, and otherwise route spaces of at least
-    :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
+    ``"serial"`` and ``"parallel"`` are explicit; ``"auto"``,
+    ``"compiled"`` and ``"batch"`` (which constrain the simulation
+    substrate, not the executor -- see :func:`resolve_sim_engine`) follow
+    the worker count when one is given, and otherwise route spaces of at
+    least :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
     """
     if engine == "serial":
         if workers not in (None, 1):
@@ -323,7 +342,7 @@ def resolve_engine(
         return SerialExecutor()
     if engine == "parallel":
         return ParallelExecutor(workers)
-    if engine in ("auto", "compiled"):
+    if engine in ("auto", "batch", "compiled"):
         if workers is not None:
             return make_executor(workers)
         if config_space_size >= AUTO_PARALLEL_THRESHOLD:
@@ -707,8 +726,9 @@ class Scenario:
         The single entry point: ``engine`` picks the executor (see
         :func:`resolve_engine`) *and* the per-configuration substrate (see
         :func:`resolve_sim_engine`) -- under the default ``"auto"``,
-        schedule-driven algorithms run on the compiled trajectory engine,
-        everything else on the reactive simulator.  ``cache`` picks the
+        schedule-driven algorithms run on the vectorized batch engine
+        (compiled trajectories when NumPy is absent), everything else on
+        the reactive simulator.  ``cache`` picks the
         run store (see :func:`resolve_store`).  Reports are byte-identical
         across engines, worker counts and shard granularities.  ``graph``
         may be passed when the caller already built it from this scenario.

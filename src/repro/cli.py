@@ -6,7 +6,8 @@ Commands:
 * ``sweep`` -- adversarial worst-case sweep of a scenario (sharded over
   the runtime: ``--workers N`` fans shards out to a process pool;
   ``--engine`` picks the execution engine, with the default ``auto``
-  running schedule-driven algorithms on the compiled trajectory engine;
+  running schedule-driven algorithms on the vectorized batch engine when
+  NumPy is installed and on the compiled trajectory engine otherwise;
   completed shards are cached in ``.repro_cache/`` unless ``--no-cache``
   is given, so reruns and interrupted sweeps resume);
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
@@ -329,11 +330,13 @@ def make_parser() -> argparse.ArgumentParser:
     common(sweep_parser)
     sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
     sweep_parser.add_argument("--engine", default="auto",
-                              choices=["auto", "compiled", "parallel", "serial"],
-                              help="execution engine (default auto: compiled "
-                                   "trajectories for schedule-driven algorithms, "
-                                   "reactive simulation otherwise; reports are "
-                                   "byte-identical)")
+                              choices=["auto", "batch", "compiled", "parallel",
+                                       "serial"],
+                              help="execution engine (default auto: vectorized "
+                                   "NumPy batch engine for schedule-driven "
+                                   "algorithms when numpy is installed, compiled "
+                                   "trajectories otherwise, reactive simulation "
+                                   "for the rest; reports are byte-identical)")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="process-pool workers (default 1 = serial)")
     sweep_parser.add_argument("--shards", type=int, default=None,

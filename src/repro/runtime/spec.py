@@ -218,8 +218,8 @@ class AlgorithmSpec:
         )
 
 
-#: The two per-configuration execution substrates a worker can run.
-SIM_ENGINES = ("reactive", "compiled")
+#: The per-configuration execution substrates a worker can run.
+SIM_ENGINES = ("reactive", "compiled", "batch")
 
 
 @dataclass(frozen=True)
@@ -233,13 +233,15 @@ class JobSpec:
     is how :func:`repro.api.sweep_objects` runs.
 
     ``engine`` picks the per-configuration substrate a worker uses:
-    ``"reactive"`` (the round simulator) or ``"compiled"`` (the
-    trajectory engine of :mod:`repro.sim.compiled`, valid only for
-    schedule-driven algorithms).  Reports are byte-identical either way.
-    A non-default engine participates in the content key, so a run-store
-    entry records exactly how it was produced -- while reactive specs
-    serialize exactly as before this field existed, keeping their
-    run-store entries reachable.
+    ``"reactive"`` (the round simulator), ``"compiled"`` (the trajectory
+    engine of :mod:`repro.sim.compiled`) or ``"batch"`` (the vectorized
+    NumPy engine of :mod:`repro.sim.batch`); the latter two are valid
+    only for schedule-driven algorithms, and ``"batch"`` additionally
+    needs the optional NumPy dependency in every worker process.  Reports
+    are byte-identical whichever substrate runs.  A non-default engine
+    participates in the content key, so a run-store entry records exactly
+    how it was produced -- while reactive specs serialize exactly as
+    before this field existed, keeping their run-store entries reachable.
     """
 
     algorithm: AlgorithmSpec

@@ -7,23 +7,29 @@ per process (pool workers are long-lived, so a worker pays the
 construction cost once per distinct job, not once per shard).
 
 The spec's ``engine`` picks the per-configuration substrate: the reactive
-round simulator, or the compiled trajectory engine
-(:mod:`repro.sim.compiled`), whose ``(label, start)`` trajectory table is
-likewise memoised per process so shards of one sweep share compilations.
-Either way the measured ``(time, cost)`` per configuration -- and hence
-the shard report -- is identical.
+round simulator, the compiled trajectory engine
+(:mod:`repro.sim.compiled`), or the vectorized batch engine
+(:mod:`repro.sim.batch`).  The compiled ``(label, start)`` trajectory
+table and the batch engine's dense per-label timeline arrays are likewise
+memoised per process, so shards of one sweep share compilations.  The
+batch substrate never walks the shard configuration by configuration: the
+shard's lazy ``(index, configuration)`` stream is measured in bounded
+vectorized chunks.  Whatever the substrate, the measured ``(time, cost)``
+per configuration -- and hence the shard report -- is identical.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Iterator
 
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.registry import PRESENCE_MODELS
 from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport
 from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
-from repro.sim.adversary import default_horizon
+from repro.sim.adversary import Configuration, default_horizon
+from repro.sim.batch import BatchTimelineTable, evaluate_stream
 from repro.sim.compiled import TrajectoryTable
 from repro.sim.simulator import simulate_rendezvous
 
@@ -44,6 +50,61 @@ def _trajectory_table(
     return TrajectoryTable(graph, algorithm)
 
 
+@lru_cache(maxsize=8)
+def _batch_table(
+    graph_spec: GraphSpec, algorithm_spec: AlgorithmSpec
+) -> BatchTimelineTable:
+    graph, algorithm = _materialize(graph_spec, algorithm_spec)
+    return BatchTimelineTable(graph, algorithm)
+
+
+def _measured_stream(
+    spec: JobSpec,
+    graph: PortLabeledGraph,
+    algorithm: RendezvousAlgorithm,
+    presence,
+) -> Iterator[tuple[int, Configuration, int | None, int]]:
+    """``(index, config, time, cost)`` for the shard, in enumeration order.
+
+    One lazy stream per substrate, all field-identical: the shard loop in
+    :func:`run_shard` cannot tell the engines apart.
+    """
+
+    def horizon_for(config: Configuration) -> int:
+        return (
+            spec.horizon
+            if spec.horizon is not None
+            else default_horizon(algorithm, config)
+        )
+
+    indexed = spec.iter_shard(graph)
+    if spec.engine == "batch":
+        table = _batch_table(spec.graph, spec.algorithm)
+        for index, config, _horizon, time, cost in evaluate_stream(
+            table,
+            ((index, config, horizon_for(config)) for index, config in indexed),
+            presence,
+        ):
+            yield index, config, time, cost
+    elif spec.engine == "compiled":
+        table = _trajectory_table(spec.graph, spec.algorithm)
+        for index, config in indexed:
+            time, cost = table.evaluate(config, horizon_for(config), presence)
+            yield index, config, time, cost
+    else:
+        for index, config in indexed:
+            result = simulate_rendezvous(
+                graph,
+                algorithm,
+                labels=config.labels,
+                starts=config.starts,
+                delay=config.delay,
+                max_rounds=horizon_for(config),
+                presence=presence,
+            )
+            yield index, config, (result.time if result.met else None), result.cost
+
+
 def run_shard(spec: JobSpec) -> ShardReport:
     """Run every configuration in the spec's shard and keep the extremes.
 
@@ -58,38 +119,12 @@ def run_shard(spec: JobSpec) -> ShardReport:
     presence = PRESENCE_MODELS.get(spec.presence)  # SpecError if unknown
     lo, hi = spec.shard if spec.shard is not None else (0, spec.config_space_size(graph))
 
-    if spec.engine == "compiled":
-        table = _trajectory_table(spec.graph, spec.algorithm)
-
-        def measure(config, horizon):
-            return table.evaluate(config, horizon, presence)
-
-    else:
-
-        def measure(config, horizon):
-            result = simulate_rendezvous(
-                graph,
-                algorithm,
-                labels=config.labels,
-                starts=config.starts,
-                delay=config.delay,
-                max_rounds=horizon,
-                presence=presence,
-            )
-            return (result.time if result.met else None), result.cost
-
     worst_time: ExtremeSummary | None = None
     worst_cost: ExtremeSummary | None = None
     failures: list[ConfigRef] = []
     executions = 0
 
-    for index, config in spec.iter_shard(graph):
-        horizon = (
-            spec.horizon
-            if spec.horizon is not None
-            else default_horizon(algorithm, config)
-        )
-        time, cost = measure(config, horizon)
+    for index, config, time, cost in _measured_stream(spec, graph, algorithm, presence):
         executions += 1
         if time is None:
             failures.append(

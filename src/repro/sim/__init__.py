@@ -25,6 +25,11 @@ from repro.sim.simulator import (
 )
 from repro.sim.trace import AgentTrace
 from repro.sim.adversary import WorstCaseReport, worst_case_search
+from repro.sim.batch import (
+    BatchTimelineTable,
+    BatchUnavailableError,
+    batch_worst_case_search,
+)
 from repro.sim.compiled import (
     CompiledTrajectory,
     TrajectoryTable,
@@ -39,6 +44,8 @@ __all__ = [
     "AgentContext",
     "AgentSpec",
     "AgentTrace",
+    "BatchTimelineTable",
+    "BatchUnavailableError",
     "CompiledTrajectory",
     "GatheringResult",
     "GatheringSimulator",
@@ -52,6 +59,7 @@ __all__ = [
     "Simulator",
     "TrajectoryTable",
     "WorstCaseReport",
+    "batch_worst_case_search",
     "compile_trajectory",
     "compiled_worst_case_search",
     "default_max_rounds",

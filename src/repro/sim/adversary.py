@@ -147,7 +147,7 @@ def default_horizon(algorithm: Any, config: Configuration) -> int:
 
 
 #: Valid values of ``worst_case_search``'s ``engine`` argument.
-SEARCH_ENGINES = ("reactive", "compiled", "auto")
+SEARCH_ENGINES = ("reactive", "compiled", "batch", "auto")
 
 
 def worst_case_search(
@@ -167,6 +167,12 @@ def worst_case_search(
     With ``sample`` set, at most that many configurations are examined,
     drawn uniformly with ``rng`` (exhaustiveness traded for scale).
 
+    ``configs`` is consumed as a *stream*: with ``sample=None``, no engine
+    materializes the configuration space -- the reactive loop runs one
+    configuration at a time, the compiled engine scans lazily, and the
+    batch engine pulls bounded chunks.  Only the sampling branch (which
+    must see the whole population to draw from it) builds a list.
+
     ``engine`` selects the execution substrate and never the semantics --
     the reports are identical, field for field, trace for trace:
 
@@ -174,35 +180,51 @@ def worst_case_search(
     * ``"compiled"`` compiles each agent's trajectory once per
       ``(label, start)`` and scans timelines (:mod:`repro.sim.compiled`);
       requires a schedule-driven factory exposing ``schedule_length``;
-    * ``"auto"`` picks ``"compiled"`` exactly when the factory declares
-      ``is_oblivious`` (see :class:`repro.core.base.RendezvousAlgorithm`).
+    * ``"batch"`` stacks the compiled timelines into dense arrays and
+      answers whole configuration blocks per NumPy pass
+      (:mod:`repro.sim.batch`); needs the optional NumPy dependency and a
+      schedule-driven factory;
+    * ``"auto"`` picks the fastest sound engine for the factory: agents
+      declaring ``is_oblivious`` (see
+      :class:`repro.core.base.RendezvousAlgorithm`) run on ``"batch"``
+      when NumPy is importable, on ``"compiled"`` otherwise; everything
+      else stays reactive.
     """
     if engine not in SEARCH_ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; choose from {list(SEARCH_ENGINES)}"
         )
-    config_list = list(configs)
-    if sample is not None and sample < len(config_list):
-        rng = rng or random.Random(0xC0FFEE)
-        config_list = rng.sample(config_list, sample)
+    if sample is not None:
+        population = list(configs)
+        if sample < len(population):
+            rng = rng or random.Random(0xC0FFEE)
+            population = rng.sample(population, sample)
+        configs = population
 
+    # Engine modules are imported lazily: they import this module's report
+    # types, so the dependency arrow at import time points one way.
     if engine == "auto":
-        engine = "compiled" if getattr(factory, "is_oblivious", False) else "reactive"
+        if getattr(factory, "is_oblivious", False):
+            from repro.sim import batch as batch_module
+
+            engine = "batch" if batch_module.numpy_available() else "compiled"
+        else:
+            engine = "reactive"
+    if engine == "batch":
+        from repro.sim.batch import batch_worst_case_search
+
+        return batch_worst_case_search(graph, factory, configs, max_rounds, presence)
     if engine == "compiled":
-        # Imported lazily: repro.sim.compiled imports this module's report
-        # types, so the dependency arrow at import time points one way.
         from repro.sim.compiled import compiled_worst_case_search
 
-        return compiled_worst_case_search(
-            graph, factory, config_list, max_rounds, presence
-        )
+        return compiled_worst_case_search(graph, factory, configs, max_rounds, presence)
 
     worst_time: ExtremeRecord | None = None
     worst_cost: ExtremeRecord | None = None
     failures: list[Configuration] = []
     executions = 0
 
-    for config in config_list:
+    for config in configs:
         horizon = max_rounds(config) if callable(max_rounds) else max_rounds
         result = simulate_rendezvous(
             graph,

@@ -40,6 +40,10 @@ class RendezvousResult:
     def __post_init__(self) -> None:
         if self.met and self.time is None:
             raise ValueError("a successful rendezvous must carry its meeting time")
+        if not self.met and (self.time is not None or self.meeting_node is not None):
+            raise ValueError(
+                "a failed rendezvous cannot carry a meeting time or node"
+            )
         if sum(self.costs) != self.cost:
             raise ValueError("per-agent costs must sum to the total cost")
 

@@ -79,6 +79,38 @@ class TestTradeoff:
         assert fast.max_time < cheap.max_time  # Fast is faster
         assert cheap.cost_per_e == pytest.approx(1.0)
 
+    def test_engine_defaults_to_auto_and_is_forwarded(
+        self, ring12, ring12_exploration, monkeypatch
+    ):
+        """Regression: EXP-08 curve assembly used to always run the slow
+        reactive path because ``tradeoff_points`` never forwarded an
+        engine to ``sweep_objects``."""
+        import repro.analysis.tradeoff as tradeoff_module
+
+        seen = []
+        real = tradeoff_module.sweep_objects
+
+        def spying(*args, **kwargs):
+            seen.append(kwargs["engine"])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(tradeoff_module, "sweep_objects", spying)
+        algorithms = [CheapSimultaneous(ring12_exploration, 4)]
+        tradeoff_points(algorithms, ring12, "ring-12", label_pairs=[(1, 2)])
+        tradeoff_points(
+            algorithms, ring12, "ring-12", label_pairs=[(1, 2)], engine="reactive"
+        )
+        assert seen == ["auto", "reactive"]
+
+    def test_points_are_engine_invariant(self, ring12, ring12_exploration):
+        algorithms = [
+            CheapSimultaneous(ring12_exploration, 4),
+            FastSimultaneous(ring12_exploration, 4),
+        ]
+        auto = tradeoff_points(algorithms, ring12, "ring-12")
+        reactive = tradeoff_points(algorithms, ring12, "ring-12", engine="reactive")
+        assert auto == reactive
+
 
 class TestScatterPlot:
     def test_renders_markers(self):

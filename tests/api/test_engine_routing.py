@@ -1,10 +1,12 @@
 """Engine routing: how ``engine=`` choices map to executors and substrates.
 
 The executor axis (serial / process pool) and the simulation substrate
-(reactive / compiled trajectories) are independent; these tests pin down
-the mapping -- ``auto`` compiles schedule-driven algorithms, explicit
-``serial``/``parallel`` stay reactive, ``compiled`` demands the flag --
-and that every combination produces byte-identical reports.
+(reactive / compiled trajectories / vectorized batch) are independent;
+these tests pin down the mapping -- ``auto`` runs schedule-driven
+algorithms on the fastest available substrate (batch with NumPy,
+compiled without), explicit ``serial``/``parallel`` stay reactive,
+``compiled`` and ``batch`` demand the flag -- and that every combination
+produces byte-identical reports.
 """
 
 import json
@@ -24,6 +26,11 @@ from repro.runtime import (
     execute_job,
 )
 from repro.runtime.spec import canonical_json
+from repro.sim.batch import numpy_available
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="the batch engine needs numpy"
+)
 
 
 def tiny(**overrides) -> Scenario:
@@ -50,9 +57,16 @@ def ring_job(**overrides) -> JobSpec:
 
 
 class TestResolveSimEngine:
-    def test_auto_compiles_schedule_driven_algorithms(self):
+    def test_auto_picks_the_fastest_sound_substrate(self):
+        expected = "batch" if numpy_available() else "compiled"
         for name in ("cheap", "cheap-sim", "fast", "fast-sim", "fwr", "fwr-sim"):
-            assert resolve_sim_engine("auto", name) == "compiled"
+            assert resolve_sim_engine("auto", name) == expected
+
+    def test_auto_falls_back_to_compiled_without_numpy(self, monkeypatch):
+        import repro.sim.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        assert resolve_sim_engine("auto", "fast") == "compiled"
 
     def test_explicit_executor_choices_stay_reactive(self):
         assert resolve_sim_engine("serial", "cheap") == "reactive"
@@ -60,6 +74,17 @@ class TestResolveSimEngine:
 
     def test_compiled_is_explicit(self):
         assert resolve_sim_engine("compiled", "fast") == "compiled"
+
+    @requires_numpy
+    def test_batch_is_explicit(self):
+        assert resolve_sim_engine("batch", "fast") == "batch"
+
+    def test_batch_without_numpy_raises_the_install_hint(self, monkeypatch):
+        import repro.sim.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        with pytest.raises(ValueError, match=r"repro-rendezvous\[batch\]"):
+            resolve_sim_engine("batch", "fast")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -69,11 +94,13 @@ class TestResolveSimEngine:
         with pytest.raises(SpecError):
             resolve_sim_engine("auto", "nope")
 
-    def test_compiled_requires_the_flag(self, monkeypatch):
+    def test_compiled_and_batch_require_the_flag(self, monkeypatch):
         monkeypatch.setattr(Cheap, "is_oblivious", False)
         assert resolve_sim_engine("auto", "cheap") == "reactive"
         with pytest.raises(ValueError, match="is_oblivious"):
             resolve_sim_engine("compiled", "cheap")
+        with pytest.raises(ValueError, match="is_oblivious"):
+            resolve_sim_engine("batch", "cheap")
 
 
 class TestJobSpecEngine:
@@ -91,6 +118,12 @@ class TestJobSpecEngine:
         assert "engine" not in payload
         assert JobSpec.from_dict(payload).engine == "reactive"
         assert ring_job(engine="compiled").to_dict()["engine"] == "compiled"
+        assert ring_job(engine="batch").to_dict()["engine"] == "batch"
+
+    def test_batch_specs_round_trip_with_their_own_key(self):
+        batch = ring_job(engine="batch")
+        assert JobSpec.from_dict(batch.to_dict()) == batch
+        assert batch.key() not in (ring_job().key(), ring_job(engine="compiled").key())
 
     def test_invalid_engine_rejected_at_construction(self):
         with pytest.raises(ValueError, match="simulation engine"):
@@ -104,14 +137,23 @@ class TestExecutionEquivalence:
         assert canonical_json(compiled.report.to_dict()) == canonical_json(
             reactive.report.to_dict()
         )
+        if numpy_available():
+            batch = execute_job(ring_job(engine="batch"), executor=SerialExecutor())
+            assert canonical_json(batch.report.to_dict()) == canonical_json(
+                reactive.report.to_dict()
+            )
 
-    def test_compiled_shards_survive_the_process_pool(self):
+    @pytest.mark.parametrize(
+        "engine",
+        ["compiled", pytest.param("batch", marks=requires_numpy)],
+    )
+    def test_engine_shards_survive_the_process_pool(self, engine):
         serial = execute_job(
-            ring_job(engine="compiled"), executor=SerialExecutor(), shard_count=5
+            ring_job(engine=engine), executor=SerialExecutor(), shard_count=5
         )
         with ParallelExecutor(2) as executor:
             parallel = execute_job(
-                ring_job(engine="compiled"), executor=executor, shard_count=5
+                ring_job(engine=engine), executor=executor, shard_count=5
             )
         assert canonical_json(parallel.report.to_dict()) == canonical_json(
             serial.report.to_dict()
@@ -119,40 +161,53 @@ class TestExecutionEquivalence:
 
     def test_scenario_reports_are_engine_invariant(self):
         scenario = tiny()
-        by_engine = {
-            engine: scenario.run(engine=engine)
-            for engine in ("serial", "auto", "compiled")
-        }
+        engines = ["serial", "auto", "compiled"]
+        if numpy_available():
+            engines.append("batch")
+        by_engine = {engine: scenario.run(engine=engine) for engine in engines}
         reference = by_engine["serial"].to_json()
         assert all(run.to_json() == reference for run in by_engine.values())
 
-    def test_auto_records_the_compiled_engine_in_provenance(self):
+    def test_auto_records_its_substrate_in_provenance(self):
         from dataclasses import replace
 
         scenario = tiny()
         auto = scenario.run(engine="auto")
         serial = scenario.run(engine="serial")
         spec = scenario.job_spec()
+        substrate = resolve_sim_engine("auto", scenario.algorithm)
+        assert substrate == ("batch" if numpy_available() else "compiled")
         assert serial.stats.sweep_key == spec.key()
-        assert auto.stats.sweep_key == replace(spec, engine="compiled").key()
+        assert auto.stats.sweep_key == replace(spec, engine=substrate).key()
 
-    def test_run_job_rejects_compiled_for_undeclared_algorithms(self, monkeypatch):
+    @pytest.mark.parametrize("engine", ["compiled", "batch"])
+    def test_run_job_rejects_engines_for_undeclared_algorithms(
+        self, monkeypatch, engine
+    ):
         scenario = tiny()
         monkeypatch.setattr(Cheap, "is_oblivious", False)
         with pytest.raises(ValueError, match="is_oblivious"):
-            scenario.run(engine="compiled")
+            scenario.run(engine=engine)
+
+    def test_scenario_run_batch_without_numpy_fails_fast(self, monkeypatch):
+        import repro.sim.batch as batch_module
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        with pytest.raises(ValueError, match=r"repro-rendezvous\[batch\]"):
+            tiny().run(engine="batch")
 
 
 class TestCliEngineFlag:
     def test_sweep_json_engine_invariance(self, capsys):
         argv = ["sweep", "--graph", "ring", "--size", "6", "--algorithm", "cheap",
                 "--label-space", "3", "--delays", "0", "2", "--no-cache", "--json"]
+        engines = ["serial", "compiled"] + (["batch"] if numpy_available() else [])
         payloads = {}
-        for engine in ("serial", "compiled"):
+        for engine in engines:
             assert cli_main(argv + ["--engine", engine]) == 0
             payload = json.loads(capsys.readouterr().out)
             payloads[engine] = {k: payload[k] for k in ("scenario", "result")}
-        assert payloads["serial"] == payloads["compiled"]
+        assert all(value == payloads["serial"] for value in payloads.values())
 
     def test_serial_engine_contradicts_workers(self):
         with pytest.raises(SystemExit, match="--workers"):

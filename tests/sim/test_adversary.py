@@ -106,6 +106,65 @@ class TestWorstCaseSearch:
         assert not report.failures
 
 
+class TestStreaming:
+    """With ``sample=None`` the reactive sweep consumes its configuration
+    stream lazily -- it must never build ``list(configs)``."""
+
+    def interleaving_generator(self, configs, executed):
+        """Yields each configuration only after the previous one ran.
+
+        An eager ``list(...)`` pulls every item before any simulation,
+        tripping the assertion -- so merely completing the sweep proves
+        the path streams.
+        """
+        for index, config in enumerate(configs):
+            assert len(executed) == index, (
+                "the sweep materialized the configuration stream"
+            )
+            yield config
+
+    def test_reactive_path_streams_configurations(
+        self, ring12, ring12_exploration, monkeypatch
+    ):
+        import repro.sim.adversary as adversary_module
+
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=3)
+        configs = list(configurations(ring12, [(1, 2)], fix_first_start=True))
+        executed = []
+        real = adversary_module.simulate_rendezvous
+
+        def spying(*args, **kwargs):
+            result = real(*args, **kwargs)
+            executed.append(kwargs["labels"])
+            return result
+
+        monkeypatch.setattr(adversary_module, "simulate_rendezvous", spying)
+        report = worst_case_search(
+            ring12,
+            algorithm,
+            self.interleaving_generator(configs, executed),
+            max_rounds=lambda config: default_horizon(algorithm, config),
+            engine="reactive",
+        )
+        assert report.executions == len(configs) == len(executed)
+
+    def test_sampling_still_materializes(self, ring12, ring12_exploration):
+        # The sampling branch must see the whole population; feeding it
+        # the interleaving generator trips the eager-listing assertion,
+        # which is exactly the documented contract.
+        algorithm = CheapSimultaneous(ring12_exploration, label_space=3)
+        configs = list(configurations(ring12, [(1, 2)], fix_first_start=True))
+        with pytest.raises(AssertionError, match="materialized"):
+            worst_case_search(
+                ring12,
+                algorithm,
+                self.interleaving_generator(configs, executed=[]),
+                max_rounds=lambda config: default_horizon(algorithm, config),
+                sample=5,
+                engine="reactive",
+            )
+
+
 class TestDefaultHorizon:
     def test_one_formula_everywhere(self, ring12, ring12_exploration):
         """``default_horizon`` and ``simulate_rendezvous``'s implicit

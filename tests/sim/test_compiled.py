@@ -1,12 +1,13 @@
-"""Cross-engine equivalence: the compiled engine vs. the reactive simulator.
+"""Cross-engine equivalence: derived engines vs. the reactive simulator.
 
-The compiled trajectory engine (`repro.sim.compiled`) is only allowed to
-exist because it is *indistinguishable* from the reactive engine: for
-every registered algorithm on a small instance of every registered graph
-family, under both presence models and a ``{0, 1, E}`` delay grid, the two
-engines must return equal :class:`~repro.sim.adversary.WorstCaseReport`\\ s
--- including failure tuples, tie-broken argmax configurations, and the
-full per-agent traces inside the extreme records.
+The compiled trajectory engine (`repro.sim.compiled`) and the vectorized
+batch engine (`repro.sim.batch`) are only allowed to exist because they
+are *indistinguishable* from the reactive engine: for every registered
+algorithm on a small instance of every registered graph family, under
+both presence models and a ``{0, 1, E}`` delay grid, the engines must
+return equal :class:`~repro.sim.adversary.WorstCaseReport`\\ s --
+including failure tuples, tie-broken argmax configurations, and the full
+per-agent traces inside the extreme records.
 """
 
 import pytest
@@ -21,6 +22,7 @@ from repro.sim.adversary import (
     default_horizon,
     worst_case_search,
 )
+from repro.sim.batch import numpy_available
 from repro.sim.compiled import (
     TrajectoryTable,
     compile_trajectory,
@@ -28,6 +30,9 @@ from repro.sim.compiled import (
 )
 from repro.sim.program import AgentContext
 from repro.sim.simulator import PresenceModel, simulate_rendezvous
+
+#: Every engine that must be indistinguishable from "reactive" here.
+DERIVED_ENGINES = ("compiled",) + (("batch",) if numpy_available() else ())
 
 #: The smallest valid instance of every registered graph family.  A test
 #: below asserts this stays in sync with the registry, so adding a family
@@ -75,10 +80,12 @@ class TestSuiteCoverage:
 
 @pytest.mark.parametrize("family", sorted(SMALL_FAMILIES))
 @pytest.mark.parametrize("algorithm_name", ALGORITHMS.names())
-def test_compiled_report_equals_reactive_report(family, algorithm_name):
+def test_derived_engine_reports_equal_reactive_report(family, algorithm_name):
     """The exhaustive cross-engine sweep: equal reports, field for field.
 
-    Delays are swept even for simultaneous-start algorithms -- they then
+    Every derived engine (compiled, and batch when NumPy is present) is
+    compared against one reactive reference per presence model.  Delays
+    are swept even for simultaneous-start algorithms -- they then
     legitimately fail to meet in some configurations, which is exactly how
     the failure tuples' equivalence is exercised.
     """
@@ -95,10 +102,13 @@ def test_compiled_report_equals_reactive_report(family, algorithm_name):
         reactive = worst_case_search(
             graph, algorithm, configs, horizon, presence=presence, engine="reactive"
         )
-        compiled = worst_case_search(
-            graph, algorithm, configs, horizon, presence=presence, engine="compiled"
-        )
-        assert compiled == reactive, f"{algorithm_name} on {family} ({presence})"
+        for engine in DERIVED_ENGINES:
+            derived = worst_case_search(
+                graph, algorithm, configs, horizon, presence=presence, engine=engine
+            )
+            assert derived == reactive, (
+                f"{algorithm_name} on {family} ({presence}, {engine})"
+            )
 
 
 class TestTieBreaking:
@@ -122,10 +132,11 @@ class TestTieBreaking:
             reactive = worst_case_search(
                 ring12, algorithm, ordering, horizon, engine="reactive"
             )
-            compiled = worst_case_search(
-                ring12, algorithm, ordering, horizon, engine="compiled"
-            )
-            assert compiled == reactive
+            for engine in DERIVED_ENGINES:
+                derived = worst_case_search(
+                    ring12, algorithm, ordering, horizon, engine=engine
+                )
+                assert derived == reactive, engine
         forward = worst_case_search(ring12, algorithm, configs, horizon, engine="compiled")
         backward = worst_case_search(
             ring12, algorithm, list(reversed(configs)), horizon, engine="compiled"
@@ -135,26 +146,48 @@ class TestTieBreaking:
 
 
 class TestEngineSelection:
-    def test_auto_uses_compiled_for_oblivious_factories(self, ring12, monkeypatch):
+    def test_auto_uses_the_fastest_engine_for_oblivious_factories(
+        self, ring12, monkeypatch
+    ):
+        """``auto`` routes to batch with NumPy, to compiled without."""
         algorithm = build_algorithm("cheap", ring12)
         configs = list(configurations(ring12, [(1, 2)], delays=(0,)))
         calls = []
+        import repro.sim.batch as batch_module
         import repro.sim.compiled as compiled_module
 
-        original = compiled_module.compiled_worst_case_search
+        def spy(name, original):
+            return lambda *args, **kwargs: calls.append(name) or original(
+                *args, **kwargs
+            )
+
+        monkeypatch.setattr(
+            batch_module,
+            "batch_worst_case_search",
+            spy("batch", batch_module.batch_worst_case_search),
+        )
         monkeypatch.setattr(
             compiled_module,
             "compiled_worst_case_search",
-            lambda *args, **kwargs: calls.append(1) or original(*args, **kwargs),
+            spy("compiled", compiled_module.compiled_worst_case_search),
         )
-        worst_case_search(
-            ring12,
-            algorithm,
-            configs,
-            lambda c: default_horizon(algorithm, c),
-            engine="auto",
-        )
-        assert calls  # the compiled engine ran
+
+        def search():
+            worst_case_search(
+                ring12,
+                algorithm,
+                configs,
+                lambda c: default_horizon(algorithm, c),
+                engine="auto",
+            )
+
+        if numpy_available():
+            search()
+            assert calls == ["batch"]
+        calls.clear()
+        monkeypatch.setattr(batch_module, "_np", None)
+        search()
+        assert calls == ["compiled"]
 
     def test_auto_falls_back_to_reactive_for_undeclared_factories(self, ring12):
         # Ablations are schedule-driven but deliberately undeclared; under
@@ -188,11 +221,12 @@ class TestEngineSelection:
         reactive = worst_case_search(
             ring12, algorithm, configs, horizon, sample=25, engine="reactive"
         )
-        compiled = worst_case_search(
-            ring12, algorithm, configs, horizon, sample=25, engine="compiled"
-        )
-        assert reactive.executions == compiled.executions == 25
-        assert compiled == reactive
+        assert reactive.executions == 25
+        for engine in DERIVED_ENGINES:
+            derived = worst_case_search(
+                ring12, algorithm, configs, horizon, sample=25, engine=engine
+            )
+            assert derived == reactive, engine
 
 
 class TestCompilation:

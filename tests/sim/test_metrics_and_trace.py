@@ -37,6 +37,16 @@ class TestRendezvousResult:
         with pytest.raises(ValueError, match="meeting time"):
             make_result(time=None)
 
+    def test_unmet_rejects_a_time(self):
+        """Regression: ``met=False`` used to silently accept a non-None
+        time, the mirror image of the ``met=True, time=None`` check."""
+        with pytest.raises(ValueError, match="failed rendezvous"):
+            make_result(met=False, time=5, meeting_node=None)
+
+    def test_unmet_rejects_a_meeting_node(self):
+        with pytest.raises(ValueError, match="failed rendezvous"):
+            make_result(met=False, time=None, meeting_node=2)
+
     def test_costs_must_sum(self):
         with pytest.raises(ValueError, match="sum"):
             make_result(costs=(1, 1))
