@@ -1,97 +1,17 @@
 """Ablation study: what each construction detail of Section 2 buys.
 
-Three deliberately weakened variants run under the adversary:
-
-* Fast without the ``01`` delimiter  -> prefix label pairs never meet;
-* Cheap with wait ``lE`` instead of ``2lE``  -> delayed starts on stars /
-  trees never meet;
-* Fast without bit-doubling  -> no counterexample found at this scale
-  (documented negative result: the doubling is proof-driven conservatism
-  costing ~2x schedule length).
+Thin shim over the registered experiment ``ablations``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-import itertools
-
-from repro.analysis.tables import Table
-from repro.core.ablations import CheapShortWait, FastNoDelimiter, FastNoDoubling
-from repro.core.cheap import Cheap
-from repro.core.fast import Fast, FastSimultaneous
-from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
-from repro.sim.simulator import simulate_rendezvous
-
-LABEL_SPACE = 6
+from repro.experiments import render_report, run_experiment
 
 
-def count_failures(graph, algorithm, delays, horizon_factor=6):
-    failures = []
-    total = 0
-    for a, b in itertools.permutations(range(1, LABEL_SPACE + 1), 2):
-        for start_b in range(1, graph.num_nodes):
-            for delay in delays:
-                total += 1
-                horizon = horizon_factor * max(
-                    algorithm.schedule_length(a), algorithm.schedule_length(b)
-                ) + delay
-                result = simulate_rendezvous(
-                    graph, algorithm, labels=(a, b), starts=(0, start_b),
-                    delay=delay, max_rounds=horizon,
-                )
-                if not result.met:
-                    failures.append((a, b, start_b, delay))
-    return failures, total
-
-
-def test_ablations(benchmark, report):
-    ring = oriented_ring(12)
-    ring_exploration = RingExploration(12)
-    star = star_graph(6)
-    star_exploration = KnownMapDFS(star)
-
-    rows = []
-
-    no_delim = FastNoDelimiter(ring_exploration, LABEL_SPACE)
-    failures, total = count_failures(ring, no_delim, delays=(0,))
-    rows.append(("01 delimiter (prefix-freeness)", "Fast", "ring-12",
-                 len(failures), total, failures[0] if failures else "-"))
-    assert failures, "removing the delimiter must break prefix pairs"
-
-    short_wait = CheapShortWait(star_exploration, LABEL_SPACE)
-    failures, total = count_failures(star, short_wait, delays=(0, 2, 7, 13))
-    rows.append(("wait 2lE (not lE)", "Cheap", "star-6",
-                 len(failures), total, failures[0] if failures else "-"))
-    assert failures, "halving the wait must break delayed starts"
-
-    no_doubling = FastNoDoubling(ring_exploration, LABEL_SPACE)
-    failures, total = count_failures(ring, no_doubling, delays=(0, 5, 11))
-    rows.append(("bit doubling in T", "Fast", "ring-12",
-                 len(failures), total, failures[0] if failures else "-"))
-    assert not failures, "no counterexample is the documented finding"
-
-    table = Table(
-        "Ablations: remove one construction detail, run the adversary",
-        ["removed detail", "algorithm", "graph", "non-meeting configs",
-         "configs searched", "first counterexample (a,b,start,delay)"],
-    )
-    for row in rows:
-        table.add_row(*row)
-    report(table)
-
-    real = Fast(ring_exploration, LABEL_SPACE)
-    ablated = FastNoDoubling(ring_exploration, LABEL_SPACE)
-    report([
-        "The delimiter and the 2lE wait are load-bearing: removing either",
-        "yields concrete non-meeting executions.  The bit-doubling has no",
-        "counterexample at this scale -- it is what makes the containment",
-        "argument of Proposition 2.2 airtight for every graph and delay, at",
-        f"a ~2x schedule cost ({real.schedule_length(LABEL_SPACE)} vs "
-        f"{ablated.schedule_length(LABEL_SPACE)} rounds for label {LABEL_SPACE}).",
-    ])
-
-    benchmark(
-        lambda: simulate_rendezvous(
-            ring, FastSimultaneous(ring_exploration, LABEL_SPACE),
-            labels=(2, 4), starts=(0, 5),
-        )
-    )
+def test_ablations(report):
+    outcome = run_experiment("ablations")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

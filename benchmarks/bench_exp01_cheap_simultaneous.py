@@ -1,69 +1,17 @@
 """EXP-01: Algorithm Cheap with simultaneous start (paper Section 2).
 
-Claim: agent ``l`` waits ``(l-1)E`` rounds then explores once; rendezvous
-happens by round ``l E`` at the cost of (at most) a single exploration --
-*exactly* ``E`` when the exploration spends its full budget, as the
-clockwise ring walk does.
+Thin shim over the registered experiment ``exp01``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table, format_ratio
-from repro.core.cheap import CheapSimultaneous
-from repro.exploration import best_exploration
-from repro.graphs.families import (
-    complete_graph,
-    full_binary_tree,
-    oriented_ring,
-    star_graph,
-)
-
-GRAPHS = [
-    ("ring-12", oriented_ring(12), True),
-    ("star-9", star_graph(9), False),
-    ("tree-d2", full_binary_tree(2), False),
-    ("complete-6", complete_graph(6), True),
-]
-LABEL_SPACES = (4, 8)
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    rows = []
-    for name, graph, transitive in GRAPHS:
-        exploration = best_exploration(graph)
-        for label_space in LABEL_SPACES:
-            algorithm = CheapSimultaneous(exploration, label_space)
-            sweep = sweep_objects(
-                algorithm, graph, name, fix_first_start=transitive
-            )
-            rows.append((name, label_space, exploration.budget, sweep))
-    return rows
-
-
-def test_exp01_cheap_simultaneous(benchmark, report):
-    rows = run_experiment()
-
-    table = Table(
-        "EXP-01  Cheap, simultaneous start: cost = one exploration, time <= l E",
-        ["graph", "L", "E", "worst cost", "cost bound E", "worst time",
-         "time bound (L-1)E", "time usage"],
-    )
-    for name, label_space, budget, sweep in rows:
-        table.add_row(
-            name, label_space, budget,
-            sweep.max_cost, sweep.cost_bound,
-            sweep.max_time, sweep.time_bound,
-            format_ratio(sweep.max_time, sweep.time_bound),
-        )
-        assert sweep.max_cost <= sweep.cost_bound
-        assert sweep.max_time <= sweep.time_bound
-    # On the oriented ring the cost is exactly E (the paper's claim).
-    ring_rows = [sweep for name, _, _, sweep in rows if name == "ring-12"]
-    assert all(sweep.max_cost == 11 for sweep in ring_rows)
-    report(table)
-
-    ring = oriented_ring(12)
-    exploration = best_exploration(ring)
-    algorithm = CheapSimultaneous(exploration, 4)
-    benchmark(
-        lambda: sweep_objects(algorithm, ring, "ring-12", fix_first_start=True)
-    )
+def test_exp01_cheap_simultaneous(report):
+    outcome = run_experiment("exp01")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,62 +1,17 @@
 """EXP-02: Proposition 2.1 -- Algorithm Cheap under arbitrary delays.
 
-Claim: cost at most ``3E`` and time at most ``(2l + 3)E`` (worst case
-``(2L + 1)E``), for every wake-up delay of the second agent.
+Thin shim over the registered experiment ``exp02``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table, format_ratio
-from repro.core.cheap import Cheap
-from repro.exploration import best_exploration
-from repro.graphs.families import oriented_ring, star_graph
-
-LABEL_SPACE = 5
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    rows = []
-    for name, graph, transitive in (
-        ("ring-12", oriented_ring(12), True),
-        ("star-8", star_graph(8), False),
-    ):
-        exploration = best_exploration(graph)
-        budget = exploration.budget
-        algorithm = Cheap(exploration, LABEL_SPACE)
-        for delay in (0, budget // 2, budget, 2 * budget):
-            sweep = sweep_objects(
-                algorithm, graph, name, delays=(delay,), fix_first_start=transitive
-            )
-            rows.append((name, budget, delay, sweep))
-    return rows
-
-
-def test_exp02_cheap_general(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-02  Prop 2.1: Cheap with delays: cost <= 3E, time <= (2L+1)E",
-        ["graph", "E", "delay", "worst cost", "3E", "cost usage",
-         "worst time", "(2L+1)E", "time usage"],
-    )
-    for name, budget, delay, sweep in rows:
-        table.add_row(
-            name, budget, delay,
-            sweep.max_cost, sweep.cost_bound,
-            format_ratio(sweep.max_cost, sweep.cost_bound),
-            sweep.max_time, sweep.time_bound,
-            format_ratio(sweep.max_time, sweep.time_bound),
-        )
-        assert sweep.max_cost <= sweep.cost_bound
-        assert sweep.max_time <= sweep.time_bound
-    report(table)
-    report([
-        "Shape check: the bounds hold uniformly across all delays",
-        "(for delay > E the sleeping agent is found within the first E rounds).",
-    ])
-
-    ring = oriented_ring(12)
-    algorithm = Cheap(best_exploration(ring), LABEL_SPACE)
-    benchmark(
-        lambda: sweep_objects(
-            algorithm, ring, "ring-12", delays=(6,), fix_first_start=True
-        )
-    )
+def test_exp02_cheap_general(report):
+    outcome = run_experiment("exp02")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

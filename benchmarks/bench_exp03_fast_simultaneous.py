@@ -1,57 +1,17 @@
 """EXP-03: Algorithm Fast with simultaneous start (paper Section 2).
 
-Claim: time at most ``(2 floor(log(L-1)) + 4) E`` -- logarithmic in the
-label space, the paper's "fast end" of the tradeoff.
+Thin shim over the registered experiment ``exp03``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table, format_ratio
-from repro.core.fast import FastSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-
-RING_SIZE = 12
-LABEL_SPACES = (4, 8, 16, 32)
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    rows = []
-    for label_space in LABEL_SPACES:
-        algorithm = FastSimultaneous(exploration, label_space)
-        sweep = sweep_objects(
-            algorithm, ring, f"ring-{RING_SIZE}", fix_first_start=True
-        )
-        rows.append((label_space, sweep))
-    return rows
-
-
-def test_exp03_fast_simultaneous(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-03  Fast, simultaneous start: time <= (2 floor(log(L-1)) + 4) E",
-        ["L", "E", "worst time", "bound", "usage", "worst cost", "2x bound"],
-    )
-    for label_space, sweep in rows:
-        table.add_row(
-            label_space, sweep.exploration_budget,
-            sweep.max_time, sweep.time_bound,
-            format_ratio(sweep.max_time, sweep.time_bound),
-            sweep.max_cost, sweep.cost_bound,
-        )
-        assert sweep.max_time <= sweep.time_bound
-        assert sweep.max_cost <= sweep.cost_bound
-    # Shape: doubling L adds at most 2E to the worst time (log growth).
-    times = [sweep.max_time for _, sweep in rows]
-    budget = rows[0][1].exploration_budget
-    for earlier, later in zip(times, times[1:]):
-        assert later - earlier <= 2 * budget
-    report(table)
-    report(["Shape check: each doubling of L adds at most 2E rounds -- log growth."])
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = FastSimultaneous(RingExploration(RING_SIZE), 8)
-    benchmark(
-        lambda: sweep_objects(algorithm, ring, "ring-12", fix_first_start=True)
-    )
+def test_exp03_fast_simultaneous(report):
+    outcome = run_experiment("exp03")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,56 +1,17 @@
 """EXP-04: Proposition 2.2 -- Algorithm Fast under arbitrary delays.
 
-Claim: time at most ``(4 log(L-1) + 9) E`` and cost at most twice that,
-for every wake-up delay.
+Thin shim over the registered experiment ``exp04``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table, format_ratio
-from repro.core.fast import Fast
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-
-RING_SIZE = 12
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    budget = exploration.budget
-    rows = []
-    for label_space in (4, 16):
-        algorithm = Fast(exploration, label_space)
-        for delay in (0, budget, 3 * budget):
-            sweep = sweep_objects(
-                algorithm, ring, f"ring-{RING_SIZE}", delays=(delay,),
-                fix_first_start=True,
-            )
-            rows.append((label_space, delay, sweep))
-    return rows
-
-
-def test_exp04_fast_general(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-04  Prop 2.2: Fast with delays: time <= (4 log(L-1) + 9) E, cost <= 2 time",
-        ["L", "delay", "worst time", "time bound", "usage",
-         "worst cost", "cost bound"],
-    )
-    for label_space, delay, sweep in rows:
-        table.add_row(
-            label_space, delay,
-            sweep.max_time, sweep.time_bound,
-            format_ratio(sweep.max_time, sweep.time_bound),
-            sweep.max_cost, sweep.cost_bound,
-        )
-        assert sweep.max_time <= sweep.time_bound
-        assert sweep.max_cost <= sweep.cost_bound
-    report(table)
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = Fast(RingExploration(RING_SIZE), 8)
-    benchmark(
-        lambda: sweep_objects(
-            algorithm, ring, "ring-12", delays=(11,), fix_first_start=True
-        )
-    )
+def test_exp04_fast_general(report):
+    outcome = run_experiment("exp04")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

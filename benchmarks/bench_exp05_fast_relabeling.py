@@ -1,89 +1,17 @@
 """EXP-05: Proposition 2.3 and Corollary 2.1 -- FastWithRelabeling(w).
 
-Claims: with new labels of weight ``w`` and length ``t`` (least ``t`` with
-``C(t, w) >= L``), time is at most ``(4t + 5)E``; for constant ``w`` the
-cost is ``O(E)`` -- flat in ``L`` -- while time grows like ``L^{1/w} E``.
-
-The sweep uses adversarial label pairs (lex-adjacent ranks and extremes)
-because exhaustive pair enumeration is infeasible at the larger ``L``.
+Thin shim over the registered experiment ``exp05``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table, format_ratio
-from repro.core.fast_relabel import FastWithRelabelingSimultaneous
-from repro.core.relabeling import smallest_t
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-
-RING_SIZE = 12
-WEIGHTS = (1, 2, 3)
-LABEL_SPACES = (8, 64, 256)
+from repro.experiments import render_report, run_experiment
 
 
-def adversarial_pairs(label_space):
-    return [
-        (label_space - 1, label_space),
-        (label_space // 2, label_space // 2 + 1),
-        (1, 2),
-        (1, label_space),
-    ]
-
-
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    rows = []
-    for weight in WEIGHTS:
-        for label_space in LABEL_SPACES:
-            algorithm = FastWithRelabelingSimultaneous(
-                exploration, label_space, weight
-            )
-            sweep = sweep_objects(
-                algorithm, ring, f"ring-{RING_SIZE}",
-                label_pairs=adversarial_pairs(label_space),
-                fix_first_start=True,
-            )
-            rows.append((weight, label_space, algorithm.label_length, sweep))
-    return rows
-
-
-def test_exp05_fast_relabeling(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-05  Prop 2.3 / Cor 2.1: FastWithRelabeling(w): cost <= 2wE flat in L, "
-        "time grows like L^(1/w)",
-        ["w", "L", "t", "worst cost", "2wE", "worst time", "t*E bound", "usage"],
-    )
-    for weight, label_space, t, sweep in rows:
-        table.add_row(
-            weight, label_space, t,
-            sweep.max_cost, sweep.cost_bound,
-            sweep.max_time, sweep.time_bound,
-            format_ratio(sweep.max_time, sweep.time_bound),
-        )
-        assert sweep.max_cost <= sweep.cost_bound
-        assert sweep.max_time <= sweep.time_bound
-    # Shape 1: for fixed w the cost bound (and measured cost) is flat in L.
-    for weight in WEIGHTS:
-        costs = [s.max_cost for w, _, _, s in rows if w == weight]
-        assert max(costs) <= 2 * weight * (RING_SIZE - 1)
-    # Shape 2: for fixed L, larger w trades cost for time.
-    by_weight = {w: s for w, ls, _, s in rows if ls == 256 for w, s in [(w, s)]}
-    assert by_weight[1].max_time > by_weight[3].max_time
-    report(table)
-    report([
-        "Shape checks: measured cost stays within 2wE for every L "
-        "(the relabeling's purpose);",
-        f"label length t follows smallest_t: t(256, 1) = {smallest_t(256, 1)}, "
-        f"t(256, 2) = {smallest_t(256, 2)}, t(256, 3) = {smallest_t(256, 3)} "
-        "-- the L^(1/w) shape.",
-    ])
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = FastWithRelabelingSimultaneous(RingExploration(RING_SIZE), 64, 2)
-    benchmark(
-        lambda: sweep_objects(
-            algorithm, ring, "ring-12", label_pairs=adversarial_pairs(64),
-            fix_first_start=True,
-        )
-    )
+def test_exp05_fast_relabeling(report):
+    outcome = run_experiment("exp05")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

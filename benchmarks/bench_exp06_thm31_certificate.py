@@ -1,72 +1,17 @@
 """EXP-06: Theorem 3.1 -- cost ``E + o(E)`` forces time ``Omega(EL)``.
 
-The certificate machinery (Facts 3.3-3.8) runs over the trimmed behaviour
-vectors of Cheap (simultaneous start; cost exactly ``E``, i.e. slack
-``phi = 0``).  The table traces the eager-agent chain: each link's meeting
-time must exceed the previous by at least ``(F - 3 phi) / 2``, producing a
-time lower bound linear in ``L`` -- which Cheap's measured worst time
-matches (it *is* ``Theta(EL)``), confirming both sides of the tradeoff.
+Thin shim over the registered experiment ``exp06``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.analysis.tables import Table
-from repro.core.bounds import thm31_time_lower
-from repro.core.cheap import CheapSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.lower_bounds.certificates import certify_theorem_31
-from repro.lower_bounds.trim import trimmed_from_algorithm
-
-RING_SIZE = 12
-LABEL_SPACES = (4, 8, 12, 16)
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    results = []
-    for label_space in LABEL_SPACES:
-        algorithm = CheapSimultaneous(RingExploration(RING_SIZE), label_space)
-        trimmed = trimmed_from_algorithm(algorithm, RING_SIZE)
-        certificate = certify_theorem_31(trimmed)
-        results.append((label_space, certificate))
-    return results
-
-
-def test_exp06_theorem31_certificate(benchmark, report):
-    results = run_experiment()
-    table = Table(
-        "EXP-06  Thm 3.1 certificate on Cheap (phi = 0): chain grows ~F/2 per link "
-        "=> time Omega(EL)",
-        ["L", "phi", "facts 3.3/3.5/3.7/3.8", "chain len", "final |alpha|",
-         "predicted lower", "paper curve (L/2-1)(F)/2"],
-    )
-    for label_space, certificate in results:
-        facts = "/".join(
-            "ok" if flag else "FAIL"
-            for flag in (
-                certificate.fact_33_holds,
-                certificate.fact_35_holds,
-                certificate.fact_37_holds,
-                certificate.fact_38_holds,
-            )
-        )
-        table.add_row(
-            label_space, certificate.slack, facts,
-            len(certificate.chain_times),
-            certificate.realized_final_time,
-            f"{certificate.predicted_time_lower:.1f}",
-            f"{thm31_time_lower(label_space, RING_SIZE - 1):.1f}",
-        )
-        assert certificate.all_facts_hold
-        assert certificate.slack == 0
-        assert certificate.realized_final_time >= certificate.predicted_time_lower
-    # Linear scaling: the final chain time grows proportionally with L.
-    finals = {ls: cert.realized_final_time for ls, cert in results}
-    assert finals[16] >= 3 * finals[4]
-    report(table)
-    report([
-        "All facts of the Theorem 3.1 argument hold on Cheap's vectors, and the",
-        "realized chain time grows linearly in L: the Omega(EL) mechanism is live.",
-    ])
-
-    algorithm = CheapSimultaneous(RingExploration(RING_SIZE), 8)
-    benchmark(
-        lambda: certify_theorem_31(trimmed_from_algorithm(algorithm, RING_SIZE))
-    )
+def test_exp06_theorem31_certificate(report):
+    outcome = run_experiment("exp06")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

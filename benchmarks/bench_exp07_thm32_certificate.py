@@ -1,102 +1,17 @@
 """EXP-07: Theorem 3.2 -- time ``O(E log L)`` forces cost ``Omega(E log L)``.
 
-The certificate machinery (Facts 3.9-3.17) runs over Fast's trimmed
-behaviour vectors.  The load-bearing chain at simulation scale: progress
-vectors preserve ``k`` pairs, forcing solo cost at least ``k E / 6``
-(Fact 3.17); ``k`` is measured to grow with ``log L``, so Fast's measured
-cost is ``Theta(E log L)`` -- it cannot beat the bound it is subject to.
+Thin shim over the registered experiment ``exp07``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from math import log2
-
-from repro.analysis.tables import Table
-from repro.core.fast import FastSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.lower_bounds.certificates import certify_theorem_32
-from repro.lower_bounds.trim import trimmed_from_algorithm
-
-RING_SIZE = 12
-LABEL_SPACES = (4, 8, 16, 32)
-#: Larger instances (numpy-accelerated Trim) showing the bound scales in E.
-SCALING_CASES = ((12, 16), (24, 16), (36, 16))
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    results = []
-    for label_space in LABEL_SPACES:
-        algorithm = FastSimultaneous(RingExploration(RING_SIZE), label_space)
-        trimmed = trimmed_from_algorithm(algorithm, RING_SIZE)
-        certificate = certify_theorem_32(trimmed)
-        results.append((label_space, certificate))
-    return results
-
-
-def run_scaling():
-    results = []
-    for ring_size, label_space in SCALING_CASES:
-        algorithm = FastSimultaneous(RingExploration(ring_size), label_space)
-        trimmed = trimmed_from_algorithm(algorithm, ring_size)
-        results.append((ring_size, label_space, certify_theorem_32(trimmed)))
-    return results
-
-
-def test_exp07_theorem32_certificate(benchmark, report):
-    results = run_experiment()
-    budget = RING_SIZE - 1
-    table = Table(
-        "EXP-07  Thm 3.2 certificate on Fast: progress weight k ~ log L "
-        "=> cost >= kE/6",
-        ["L", "facts 3.9/3.12-14/3.15/3.17", "max k", "k per log L",
-         "implied cost lower", "measured max cost", "cost per E log L"],
-    )
-    for label_space, certificate in results:
-        facts = "/".join(
-            "ok" if flag else "FAIL"
-            for flag in (
-                certificate.fact_39_holds,
-                certificate.invariants_hold,
-                certificate.distinct_within_classes,
-                certificate.fact_317_holds,
-            )
-        )
-        log_l = log2(label_space)
-        table.add_row(
-            label_space, facts,
-            certificate.max_weight,
-            f"{certificate.max_weight / log_l:.2f}",
-            f"{certificate.implied_cost_lower:.1f}",
-            certificate.measured_max_cost,
-            f"{certificate.measured_max_cost / (budget * log_l):.2f}",
-        )
-        assert certificate.all_facts_hold
-        assert certificate.measured_max_cost >= certificate.implied_cost_lower
-    # Shape: the progress weight grows with log L (the pigeonhole's fuel).
-    weights = {ls: cert.max_weight for ls, cert in results}
-    assert weights[32] > weights[4]
-    report(table)
-
-    scaling = run_scaling()
-    table2 = Table(
-        "EXP-07b  The same certificate across ring sizes (bound scales with E)",
-        ["n", "E", "L", "max k", "implied cost lower", "measured max cost"],
-    )
-    for ring_size, label_space, certificate in scaling:
-        table2.add_row(
-            ring_size, ring_size - 1, label_space,
-            certificate.max_weight,
-            f"{certificate.implied_cost_lower:.1f}",
-            certificate.measured_max_cost,
-        )
-        assert certificate.all_facts_hold
-        assert certificate.measured_max_cost >= certificate.implied_cost_lower
-    report(table2)
-    report([
-        "All facts of the Theorem 3.2 argument hold; progress weight and measured",
-        "cost both track log L, and the implied bound scales with E -- Fast sits",
-        "on the Omega(E log L) cost floor in both parameters.",
-    ])
-
-    algorithm = FastSimultaneous(RingExploration(RING_SIZE), 8)
-    benchmark(
-        lambda: certify_theorem_32(trimmed_from_algorithm(algorithm, RING_SIZE))
-    )
+def test_exp07_theorem32_certificate(report):
+    outcome = run_experiment("exp07")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

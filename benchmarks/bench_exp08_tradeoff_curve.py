@@ -1,106 +1,17 @@
 """EXP-08: the time/cost tradeoff curve itself (Abstract / Conclusion).
 
-One instance, four strategies: the oracle reference point (cost = time =
-one exploration, unreachable without shared label knowledge), Cheap at the
-cheap end, Fast at the fast end, and FastWithRelabeling(w) interpolating.
-Rendered both as a table and as an ASCII scatter plot in the
-``(cost/E, time/E)`` plane (log-scaled time axis).
+Thin shim over the registered experiment ``exp08``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from math import log10
-
-from repro.analysis.ascii_plot import scatter_plot
-from repro.analysis.tables import Table
-from repro.analysis.tradeoff import tradeoff_points
-from repro.baselines.oracle import OracleBaseline
-from repro.core.cheap import CheapSimultaneous
-from repro.core.fast import FastSimultaneous
-from repro.core.fast_relabel import FastWithRelabelingSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-from repro.sim.simulator import simulate_rendezvous
-
-RING_SIZE = 12
-LABEL_SPACE = 1024
-PAIRS = [(1022, 1023), (1023, 1024), (511, 512), (1, 2), (1, 1024)]
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    algorithms = [
-        CheapSimultaneous(exploration, LABEL_SPACE),
-        FastWithRelabelingSimultaneous(exploration, LABEL_SPACE, 3),
-        FastWithRelabelingSimultaneous(exploration, LABEL_SPACE, 2),
-        FastSimultaneous(exploration, LABEL_SPACE),
-    ]
-    points = tradeoff_points(
-        algorithms, ring, f"ring-{RING_SIZE}", label_pairs=PAIRS
-    )
-    # The oracle baseline needs per-pair construction.
-    oracle_time = oracle_cost = 0
-    for pair in PAIRS:
-        oracle = OracleBaseline(exploration, pair)
-        for start_b in range(1, RING_SIZE):
-            result = simulate_rendezvous(
-                ring, oracle, labels=pair, starts=(0, start_b)
-            )
-            assert result.met
-            oracle_time = max(oracle_time, result.time)
-            oracle_cost = max(oracle_cost, result.cost)
-    return points, (oracle_cost, oracle_time)
-
-
-def test_exp08_tradeoff_curve(benchmark, report):
-    points, (oracle_cost, oracle_time) = run_experiment()
-    budget = RING_SIZE - 1
-
-    table = Table(
-        f"EXP-08  The tradeoff curve on the oriented {RING_SIZE}-ring, L = {LABEL_SPACE}",
-        ["strategy", "worst cost", "cost/E", "worst time", "time/E"],
-    )
-    table.add_row("oracle (shared labels)", oracle_cost,
-                  f"{oracle_cost / budget:.1f}", oracle_time,
-                  f"{oracle_time / budget:.1f}")
-    for point in points:
-        table.add_row(
-            point.algorithm, point.max_cost, f"{point.cost_per_e:.1f}",
-            point.max_time, f"{point.time_per_e:.1f}",
-        )
-    report(table)
-
-    by_name = {point.algorithm: point for point in points}
-    cheap = by_name["cheap-simultaneous"]
-    fast = by_name["fast-simultaneous"]
-    w2 = by_name["fast-relabel-simultaneous(w=2)"]
-    w3 = by_name["fast-relabel-simultaneous(w=3)"]
-    # The monotone frontier of the paper: cost up, time down.
-    assert cheap.max_cost < w3.max_cost < fast.max_cost
-    assert fast.max_time < w2.max_time < cheap.max_time
-    assert w3.max_time < cheap.max_time
-
-    markers = [(oracle_cost / budget, log10(oracle_time), "O")]
-    for point, marker in zip(points, "CdDF"):
-        markers.append((point.cost_per_e, log10(point.max_time), marker))
-    plot = scatter_plot(
-        markers, width=56, height=14,
-        x_label="worst cost / E",
-        y_label="log10(worst time)",
-    )
-    report([
-        plot,
-        "",
-        "O = oracle, C = Cheap, d = FastWithRelabeling(3), "
-        "D = FastWithRelabeling(2), F = Fast",
-        "The frontier bends exactly as the paper describes: spending more cost",
-        "(more explorations) buys exponentially less waiting.",
-    ])
-
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    algorithm = FastSimultaneous(exploration, LABEL_SPACE)
-    benchmark(
-        lambda: simulate_rendezvous(
-            ring, algorithm, labels=(1022, 1023), starts=(0, 6)
-        )
-    )
+def test_exp08_tradeoff_curve(report):
+    outcome = run_experiment("exp08")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,78 +1,17 @@
 """EXP-09: unknown ``E`` -- the Conclusion's iterated-doubling wrapper.
 
-Claim: iterating an algorithm with ``EXPLORE_i`` for graphs of size at
-most ``2^i`` preserves the time and cost complexities up to constant
-factors (the budgets telescope).  Measured here on oriented rings, where
-``EXPLORE_i`` is a clockwise walk of ``2^i - 1`` steps, against the same
-algorithm given the exact ``E`` directly.
+Thin shim over the registered experiment ``exp09``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.analysis.tables import Table
-from repro.core.fast import Fast
-from repro.core.unknown_e import IteratedDoublingRendezvous, ring_level_factory
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-from repro.sim.simulator import simulate_rendezvous
-
-LABEL_SPACE = 4
-RING_SIZES = (6, 12, 24, 48)
+from repro.experiments import render_report, run_experiment
 
 
-def worst_over_configs(ring, factory, ring_size):
-    worst_time = worst_cost = 0
-    for labels in ((1, 2), (3, 4), (2, 3)):
-        for start_b in (1, ring_size // 2, ring_size - 1):
-            result = simulate_rendezvous(
-                ring, factory, labels=labels, starts=(0, start_b)
-            )
-            assert result.met
-            worst_time = max(worst_time, result.time)
-            worst_cost = max(worst_cost, result.cost)
-    return worst_time, worst_cost
-
-
-def run_experiment():
-    rows = []
-    for ring_size in RING_SIZES:
-        ring = oriented_ring(ring_size)
-        wrapper = IteratedDoublingRendezvous(
-            Fast, ring_level_factory(), LABEL_SPACE, start_level=2, max_level=10
-        )
-        direct = Fast(RingExploration(ring_size), LABEL_SPACE)
-        unknown_time, unknown_cost = worst_over_configs(ring, wrapper, ring_size)
-        direct_time, direct_cost = worst_over_configs(ring, direct, ring_size)
-        rows.append(
-            (ring_size, unknown_time, direct_time, unknown_cost, direct_cost)
-        )
-    return rows
-
-
-def test_exp09_unknown_e(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-09  Unknown E: iterated doubling vs. exact E (Fast, L = 4)",
-        ["n", "time unknown-E", "time known-E", "time overhead",
-         "cost unknown-E", "cost known-E", "cost overhead"],
-    )
-    for n, u_time, d_time, u_cost, d_cost in rows:
-        table.add_row(
-            n, u_time, d_time, f"{u_time / d_time:.2f}x",
-            u_cost, d_cost, f"{u_cost / d_cost:.2f}x",
-        )
-        # Telescoping claim: constant-factor overhead.  The constant is
-        # largest when n sits just above a power of two.
-        assert u_time <= 8 * d_time
-        assert u_cost <= 8 * d_cost
-    report(table)
-    report([
-        "The overhead stays bounded as n grows (telescoping geometric budgets);",
-        "the complexities are preserved up to a constant, as the Conclusion claims.",
-    ])
-
-    ring = oriented_ring(12)
-    wrapper = IteratedDoublingRendezvous(
-        Fast, ring_level_factory(), LABEL_SPACE, start_level=2, max_level=10
-    )
-    benchmark(
-        lambda: simulate_rendezvous(ring, wrapper, labels=(1, 2), starts=(0, 6))
-    )
+def test_exp09_unknown_e(report):
+    outcome = run_experiment("exp09")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,81 +1,17 @@
 """EXP-10: exploration budgets per family and knowledge model (Section 1.2).
 
-The paper's hierarchy of scenarios: ``E = n - 1`` on oriented rings and
-Hamiltonian graphs, ``e - 1`` with an Eulerian circuit, ``2n - 3`` by DFS
-with a map and marked position, a factor ``Theta(n)`` more without the
-marked position, and UXS budgets with only a size bound.  Every row also
-re-verifies the exploration contract (all nodes, within budget, from
-every start).
+Thin shim over the registered experiment ``exp10``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-import random
-
-from repro.analysis.tables import Table
-from repro.exploration import (
-    KnowledgeModel,
-    best_exploration,
-    measure_exploration,
-)
-from repro.graphs.families import standard_test_suite
+from repro.experiments import render_report, run_experiment
 
 
-def verified_budget(graph, procedure, provide_map=True, provide_position=True):
-    worst_moves = 0
-    for start in range(graph.num_nodes):
-        visited, moves = measure_exploration(
-            procedure, graph, start,
-            provide_map=provide_map, provide_position=provide_position,
-        )
-        assert visited == set(range(graph.num_nodes))
-        worst_moves = max(worst_moves, moves)
-    assert worst_moves <= procedure.budget
-    return worst_moves
-
-
-def run_experiment():
-    rows = []
-    rng = random.Random(0x10)
-    for name, graph in standard_test_suite(rng):
-        with_pos = best_exploration(graph, KnowledgeModel.MAP_WITH_POSITION)
-        moves_with = verified_budget(graph, with_pos)
-        without_pos = best_exploration(graph, KnowledgeModel.MAP_WITHOUT_POSITION)
-        moves_without = verified_budget(graph, without_pos, provide_position=False)
-        rows.append(
-            (name, graph, with_pos, moves_with, without_pos, moves_without)
-        )
-    return rows
-
-
-def test_exp10_exploration_budgets(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-10  Exploration budgets E (Section 1.2): paper formula vs measured moves",
-        ["graph", "n", "e", "map+position", "E", "moves used",
-         "map w/o position", "E ", "moves used "],
-    )
-    for name, graph, with_pos, moves_with, without_pos, moves_without in rows:
-        table.add_row(
-            name, graph.num_nodes, graph.num_edges,
-            with_pos.name, with_pos.budget, moves_with,
-            without_pos.name, without_pos.budget, moves_without,
-        )
-        n = graph.num_nodes
-        if with_pos.name == "ring-clockwise" or with_pos.name == "hamiltonian":
-            assert with_pos.budget == n - 1
-        elif with_pos.name == "eulerian":
-            assert with_pos.budget == graph.num_edges - 1
-        elif with_pos.name == "dfs-open":
-            assert with_pos.budget == 2 * n - 3
-    report(table)
-    report([
-        "Budgets match the paper's formulas: n-1 (ring/Hamiltonian), e-1 (Eulerian),",
-        "2n-3 (known-map DFS); without a marked position the try-all-DFS budget is",
-        "2n(2n-2) -- the paper quotes n(2n-2), see EXPERIMENTS.md for the factor-2 note.",
-    ])
-
-    from repro.graphs.families import star_graph
-    from repro.exploration.try_all_dfs import TryAllDFS
-
-    star = star_graph(9)
-    procedure = TryAllDFS(star)
-    benchmark(lambda: verified_budget(star, procedure, provide_position=False))
+def test_exp10_exploration_budgets(report):
+    outcome = run_experiment("exp10")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,102 +1,17 @@
 """EXP-11: delay robustness and the parachute model (Conclusion).
 
-Claims: the bounds of Propositions 2.1/2.2 are uniform in the wake-up
-delay ``tau`` (for ``tau > E`` the earlier agent finds the sleeping one
-within ``E`` rounds); and moving to the Conclusion's alternative
-"parachute" presence model leaves the complexities unchanged.
+Thin shim over the registered experiment ``exp11``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.api import sweep_objects
-from repro.analysis.tables import Table
-from repro.core.cheap import Cheap
-from repro.core.fast import Fast
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-from repro.sim.adversary import all_label_pairs, configurations, worst_case_search
-from repro.sim.simulator import PresenceModel
-
-RING_SIZE = 12
-LABEL_SPACE = 4
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    budget = exploration.budget
-    delays = (0, budget // 2, budget, budget + 1, 2 * budget)
-    rows = []
-    for algorithm in (Cheap(exploration, LABEL_SPACE), Fast(exploration, LABEL_SPACE)):
-        for delay in delays:
-            sweep = sweep_objects(
-                algorithm, ring, f"ring-{RING_SIZE}", delays=(delay,),
-                fix_first_start=True,
-            )
-            rows.append((algorithm, delay, sweep))
-    return rows
-
-
-def parachute_comparison():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    algorithm = Fast(exploration, LABEL_SPACE)
-
-    def horizon(config):
-        return config.delay + max(
-            algorithm.schedule_length(config.labels[0]),
-            algorithm.schedule_length(config.labels[1]),
-        )
-
-    results = {}
-    for presence in (PresenceModel.FROM_START, PresenceModel.PARACHUTE):
-        report = worst_case_search(
-            ring, algorithm,
-            configurations(
-                ring, all_label_pairs(LABEL_SPACE), delays=(0, 5, 11),
-                fix_first_start=True,
-            ),
-            max_rounds=horizon,
-            presence=presence,
-        )
-        assert not report.failures
-        results[presence] = (report.max_time, report.max_cost)
-    return results
-
-
-def test_exp11_delay_sensitivity(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        "EXP-11  Delay robustness: worst time/cost vs wake-up delay tau "
-        f"(ring-{RING_SIZE}, L = {LABEL_SPACE})",
-        ["algorithm", "tau", "worst time", "time bound", "worst cost", "cost bound"],
-    )
-    for algorithm, delay, sweep in rows:
-        table.add_row(
-            algorithm.name, delay, sweep.max_time, sweep.time_bound,
-            sweep.max_cost, sweep.cost_bound,
-        )
-        assert sweep.max_time <= sweep.time_bound
-        assert sweep.max_cost <= sweep.cost_bound
-    report(table)
-
-    results = parachute_comparison()
-    from_start = results[PresenceModel.FROM_START]
-    parachute = results[PresenceModel.PARACHUTE]
-    table2 = Table(
-        "EXP-11b  Presence models (Conclusion): complexities unchanged",
-        ["model", "worst time", "worst cost"],
-    )
-    table2.add_row("from-start (paper's primary)", *from_start)
-    table2.add_row("parachute (alternative)", *parachute)
-    report(table2)
-    # The parachute model can only delay meetings that relied on finding a
-    # sleeping agent; Fast's bound must still hold.
-    exploration = RingExploration(RING_SIZE)
-    assert parachute[0] <= Fast(exploration, LABEL_SPACE).time_bound() + 11
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = Fast(RingExploration(RING_SIZE), LABEL_SPACE)
-    benchmark(
-        lambda: sweep_objects(
-            algorithm, ring, "ring-12", delays=(11,), fix_first_start=True
-        )
-    )
+def test_exp11_delay_sensitivity(report):
+    outcome = run_experiment("exp11")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

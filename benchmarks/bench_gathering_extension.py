@@ -1,72 +1,17 @@
 """Extension: k-agent gathering under merge semantics.
 
-Not a claim of the paper (which treats two agents); the measured claim
-here is the natural generalisation the merge semantics buys: a
-pairwise-correct simultaneous-start algorithm gathers ``k`` agents within
-its **two-agent** worst-case time bound, because any two surviving group
-leaders trace exactly the two-agent execution of their labels.
+Thin shim over the registered experiment ``gathering``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.analysis.tables import Table
-from repro.core.cheap import CheapSimultaneous
-from repro.core.fast import FastSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-from repro.sim.gathering import gather
-
-RING_SIZE = 12
-LABEL_SPACE = 8
+from repro.experiments import render_report, run_experiment
 
 
-def worst_gathering(algorithm, ring, k):
-    """Worst gathering time/cost over label subsets and start spreads."""
-    import itertools
-
-    worst_time = worst_cost = 0
-    label_sets = list(itertools.combinations(range(1, LABEL_SPACE + 1), k))[::3]
-    for labels in label_sets:
-        starts = tuple((i * (RING_SIZE // k)) % RING_SIZE for i in range(k))
-        result = gather(ring, algorithm, labels, starts)
-        assert result.gathered, (labels, starts)
-        worst_time = max(worst_time, result.time)
-        worst_cost = max(worst_cost, result.cost)
-    return worst_time, worst_cost
-
-
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    rows = []
-    for algorithm in (
-        CheapSimultaneous(exploration, LABEL_SPACE),
-        FastSimultaneous(exploration, LABEL_SPACE),
-    ):
-        for k in (2, 3, 4):
-            time, cost = worst_gathering(algorithm, ring, k)
-            rows.append((algorithm.name, k, time, cost, algorithm.time_bound()))
-    return rows
-
-
-def test_gathering_extension(benchmark, report):
-    rows = run_experiment()
-    table = Table(
-        f"Extension: k-agent gathering (merge semantics) on ring-{RING_SIZE}, "
-        f"L = {LABEL_SPACE}",
-        ["algorithm", "k", "worst gather time", "worst cost",
-         "2-agent time bound"],
-    )
-    for name, k, time, cost, bound in rows:
-        table.add_row(name, k, time, cost, bound)
-        assert time <= bound  # the headline claim of the extension
-    report(table)
-    report([
-        "Gathering time never exceeds the two-agent bound regardless of k:",
-        "all leaders run their schedules from round 1, so any two surviving",
-        "groups replicate the two-agent execution of their leaders.",
-    ])
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = FastSimultaneous(RingExploration(RING_SIZE), LABEL_SPACE)
-    benchmark(
-        lambda: gather(ring, algorithm, labels=(5, 6, 7, 8), starts=(0, 3, 6, 9))
-    )
+def test_gathering_extension(report):
+    outcome = run_experiment("gathering")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,89 +1,17 @@
 """Memory table of Section 1.2: agent memory per knowledge scenario.
 
-The paper's discussion, regenerated with exact bit counts on concrete
-instances: the rendezvous machinery itself is tiny (counters of
-``O(log E + log L)`` bits); what dominates is how the exploration is
-represented, ranging from ``ceil(log n)`` bits on a known ring to
-``O(n^2 log n)`` for a full port-labeled map.
+Thin shim over the registered experiment ``memory``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-import random
-
-from repro.analysis.memory import (
-    dfs_walk_bits,
-    map_bits,
-    profile,
-    ring_size_bits,
-    uxs_bits,
-)
-from repro.analysis.tables import Table
-from repro.core.fast import Fast
-from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.exploration.uxs import build_verified_uxs
-from repro.graphs.families import oriented_ring, star_graph
-
-LABEL_SPACE = 64
+from repro.experiments import render_report, run_experiment
 
 
-def run_experiment():
-    profiles = []
-
-    ring_size = 64
-    ring_algorithm = Fast(RingExploration(ring_size), LABEL_SPACE)
-    profiles.append(
-        profile(
-            f"oriented ring n={ring_size} (knows n)",
-            ring_size_bits(ring_size),
-            ring_algorithm.schedule_length(LABEL_SPACE),
-            LABEL_SPACE,
-        )
-    )
-
-    star = star_graph(16)
-    star_algorithm = Fast(KnownMapDFS(star), LABEL_SPACE)
-    schedule = star_algorithm.schedule_length(LABEL_SPACE)
-    profiles.append(
-        profile("star n=16, DFS walk as port sequence",
-                dfs_walk_bits(star), schedule, LABEL_SPACE)
-    )
-    profiles.append(
-        profile("star n=16, full port-labeled map",
-                map_bits(star), schedule, LABEL_SPACE)
-    )
-
-    small = star_graph(6)
-    sequence = build_verified_uxs([small], rng=random.Random(1))
-    uxs_schedule = Fast(KnownMapDFS(small), LABEL_SPACE).schedule_length(LABEL_SPACE)
-    profiles.append(
-        profile("star n=6, stored verified UXS (substitution)",
-                uxs_bits(len(sequence), small.max_degree()), uxs_schedule,
-                LABEL_SPACE)
-    )
-    return profiles
-
-
-def test_memory_accounting(benchmark, report):
-    profiles = run_experiment()
-    table = Table(
-        "Section 1.2 memory accounting: exploration representation dominates",
-        ["scenario", "exploration bits", "counter bits (log E + log L)",
-         "total bits"],
-    )
-    for item in profiles:
-        table.add_row(
-            item.scenario, item.exploration_bits, item.counter_bits,
-            item.total_bits,
-        )
-    report(table)
-    # The paper's hierarchy: ring << DFS walk << map.
-    assert profiles[0].exploration_bits < profiles[1].exploration_bits
-    assert profiles[1].exploration_bits < profiles[2].exploration_bits
-    report([
-        "Counters stay logarithmic in E and L in every scenario; stored UXS",
-        "trades Reingold's O(log m) working space for plain storage (see",
-        "DESIGN.md, Substitutions).",
-    ])
-
-    star = star_graph(16)
-    benchmark(lambda: map_bits(star))
+def test_memory_accounting(report):
+    outcome = run_experiment("memory")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

@@ -1,86 +1,17 @@
 """The Conclusion's open problem: the interior of the tradeoff curve.
 
-"A challenging open problem ... is establishing the entire precise
-tradeoff curve, i.e., finding, for each cost value between Theta(E) and
-Theta(E log L), the minimum time of rendezvous that can be performed at
-this cost.  In particular, it is natural to ask if the performance of our
-Algorithm FastWithRelabeling is on, or close to, this optimal tradeoff
-curve."
-
-This bench measures the curve FastWithRelabeling actually traces: for
-``w = 1..6`` at a large label space, the worst-case (cost, time) pair.
-The data is the empirical side of the open problem -- each row is an
-upper-bound point (cost Theta(wE), time Theta(L^{1/w} E)); the paper's
-theorems pin only the endpoints.
+Thin shim over the registered experiment ``open-problem``: the instance
+constants, grids, paper-bound assertions and table renderer live in
+``repro.experiments.catalog`` (one source of truth, shared with
+``python -m repro experiments run``).  Running this file under pytest
+executes the full-profile campaign for the experiment, prints its
+measured-vs-paper tables, and fails on any verdict regression.
 """
 
-from repro.analysis.tables import Table
-from repro.analysis.tradeoff import tradeoff_points
-from repro.core.fast_relabel import FastWithRelabelingSimultaneous
-from repro.core.relabeling import smallest_t
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
-
-RING_SIZE = 12
-LABEL_SPACE = 4096
-WEIGHTS = (1, 2, 3, 4, 5, 6)
+from repro.experiments import render_report, run_experiment
 
 
-def adversarial_pairs():
-    return [
-        (LABEL_SPACE - 1, LABEL_SPACE),
-        (LABEL_SPACE // 2, LABEL_SPACE // 2 + 1),
-        (1, 2),
-        (1, LABEL_SPACE),
-    ]
-
-
-def run_experiment():
-    ring = oriented_ring(RING_SIZE)
-    exploration = RingExploration(RING_SIZE)
-    algorithms = [
-        FastWithRelabelingSimultaneous(exploration, LABEL_SPACE, weight)
-        for weight in WEIGHTS
-    ]
-    return tradeoff_points(
-        algorithms, ring, f"ring-{RING_SIZE}", label_pairs=adversarial_pairs()
-    )
-
-
-def test_open_problem_interior_curve(benchmark, report):
-    points = run_experiment()
-    budget = RING_SIZE - 1
-    table = Table(
-        f"Open problem (Conclusion): the interior curve traced by "
-        f"FastWithRelabeling(w), L = {LABEL_SPACE}",
-        ["w", "t = |new label|", "worst cost", "cost/E", "worst time", "time/E"],
-    )
-    for weight, point in zip(WEIGHTS, points):
-        table.add_row(
-            weight, smallest_t(LABEL_SPACE, weight),
-            point.max_cost, f"{point.cost_per_e:.1f}",
-            point.max_time, f"{point.time_per_e:.1f}",
-        )
-    # The measured curve is monotone in the interesting range: more weight
-    # (cost budget) never hurts time until t bottoms out.
-    times = [point.max_time for point in points]
-    assert times[0] > times[2]  # w=1 -> w=3 is a big win
-    report(table)
-    report([
-        "Each row is an achievable (cost, time) point; whether this curve is",
-        "optimal between the two proven endpoints is exactly the paper's open",
-        "problem.  The diminishing returns pattern (t = L^(1/w) flattens fast)",
-        "suggests most of the curve's value sits at small w.",
-    ])
-
-    ring = oriented_ring(RING_SIZE)
-    algorithm = FastWithRelabelingSimultaneous(
-        RingExploration(RING_SIZE), LABEL_SPACE, 3
-    )
-    from repro.sim import simulate_rendezvous
-
-    benchmark(
-        lambda: simulate_rendezvous(
-            ring, algorithm, labels=(4095, 4096), starts=(0, 6)
-        )
-    )
+def test_open_problem_interior_curve(report):
+    outcome = run_experiment("open-problem")
+    report(render_report(outcome))
+    assert outcome.passed, [item.name for item in outcome.failures]

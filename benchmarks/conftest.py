@@ -1,9 +1,11 @@
 """Shared helpers for the benchmark harness.
 
-Each ``bench_expNN_*`` module regenerates one experiment from DESIGN.md's
-index: it sweeps the adversary, prints a measured-vs-paper table (bypassing
-pytest's capture so the table lands in the bench log), and times a
-representative kernel with pytest-benchmark.
+Each ``bench_expNN_*`` module is a thin shim over its registered
+experiment in ``repro.experiments``: it runs the full-profile campaign
+for that experiment, prints the measured-vs-paper tables (bypassing
+pytest's capture so they land in the bench log), and asserts the
+verdict.  ``bench_engine.py`` (a standalone script, not a pytest module)
+tracks engine throughput separately.
 """
 
 import pytest

@@ -50,6 +50,13 @@ from repro.core import (
     RendezvousAlgorithm,
     bounds,
 )
+from repro.experiments import (
+    Campaign,
+    CampaignResult,
+    Experiment,
+    ExperimentReport,
+    run_experiment,
+)
 from repro.exploration import (
     ExplorationProcedure,
     KnowledgeModel,
@@ -61,6 +68,7 @@ from repro.exploration import (
 from repro.graphs import PortLabeledGraph, oriented_ring
 from repro.registry import (
     ALGORITHMS,
+    EXPERIMENTS,
     EXPLORATIONS,
     GRAPH_FAMILIES,
     KNOWLEDGE_MODELS,
@@ -85,14 +93,19 @@ from repro.sim import (
     worst_case_search,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "Campaign",
+    "CampaignResult",
     "Cheap",
     "CheapSimultaneous",
+    "EXPERIMENTS",
     "EXPLORATIONS",
+    "Experiment",
+    "ExperimentReport",
     "ExplorationProcedure",
     "Fast",
     "FastSimultaneous",
@@ -129,6 +142,7 @@ __all__ = [
     "canonical_json",
     "execute_job",
     "oriented_ring",
+    "run_experiment",
     "run_job",
     "simulate_rendezvous",
     "sweep_objects",

@@ -1,16 +1,21 @@
-"""Analysis tooling: sweeps, tables, tradeoff curves and ASCII plots.
+"""Analysis tooling: tables, tradeoff curves and ASCII plots.
 
-These are the building blocks of the benchmark harness under
-``benchmarks/``: each experiment sweeps a parameter grid with the
-adversary, renders a plain-text table of measured-vs-paper columns, and
-(for curve-shaped claims) an ASCII scatter plot.
+These are the building blocks of the experiment renderers in
+:mod:`repro.experiments`: each experiment sweeps a parameter grid with
+the adversary (through :mod:`repro.api`), renders a plain-text table of
+measured-vs-paper columns, and (for curve-shaped claims) an ASCII
+scatter plot.  Worst-case sweeps themselves live in :mod:`repro.api`
+(:func:`repro.api.sweep_objects` for live objects,
+:meth:`repro.api.Scenario.run` for named scenarios); the deprecated
+``worst_case_sweep*`` shims that used to forward there from this package
+have been removed.
 """
 
 from repro.analysis.tables import Table, format_ratio
-from repro.analysis.sweep import SweepRow, worst_case_sweep, worst_case_sweep_runtime
 from repro.analysis.tradeoff import TradeoffPoint, tradeoff_points
 from repro.analysis.ascii_plot import scatter_plot
 from repro.analysis.memory import MemoryProfile, counter_bits, dfs_walk_bits, map_bits
+from repro.api import SweepRow
 
 __all__ = [
     "MemoryProfile",
@@ -23,6 +28,4 @@ __all__ = [
     "map_bits",
     "scatter_plot",
     "tradeoff_points",
-    "worst_case_sweep",
-    "worst_case_sweep_runtime",
 ]

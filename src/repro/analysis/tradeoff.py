@@ -36,6 +36,18 @@ class TradeoffPoint:
     def time_per_e(self) -> float:
         return self.max_time / self.exploration_budget
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (the CLI's ``tradeoff --json`` rows)."""
+        return {
+            "algorithm": self.algorithm,
+            "label_space": self.label_space,
+            "exploration_budget": self.exploration_budget,
+            "max_cost": self.max_cost,
+            "max_time": self.max_time,
+            "cost_per_e": self.cost_per_e,
+            "time_per_e": self.time_per_e,
+        }
+
 
 def tradeoff_points(
     algorithms: Sequence[RendezvousAlgorithm],

@@ -12,17 +12,27 @@ Commands:
   is given, so reruns and interrupted sweeps resume);
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
 * ``explore`` -- print the exploration budgets ``E`` for the built-in
-  graph families under each knowledge model.
+  graph families under each knowledge model;
+* ``experiments`` -- list and run the registered experiment campaigns
+  (EXP-01…12 plus the extensions) and render their verdict reports;
+  ``run`` writes one canonical JSON report per experiment (default
+  ``.repro_cache/experiments/``), which
+  ``tools/render_experiments.py`` turns back into the EXPERIMENTS.md
+  verdict table.
 
 The CLI is a thin veneer over :mod:`repro.api`: flags assemble a
 declarative :class:`~repro.api.Scenario`, the scenario runs, and the
-result prints as an ASCII table -- or, with ``--json``, as a JSON
-report.  Within that report the ``scenario`` and ``result`` blocks are
-the canonical part (byte-identical across engines and worker counts);
-the ``runtime`` block is provenance (cached-vs-executed shard counts)
-and legitimately varies between reruns of the same sweep.  Graph
-families and algorithms come straight from the registries, so a family
-registered with ``from_size`` metadata is immediately usable here.
+result prints as an ASCII table -- or, with ``--json`` (available on
+``run``, ``sweep``, ``tradeoff``, ``certify`` and ``experiments``), as
+a canonical JSON report.  Within the sweep report the ``scenario`` and
+``result`` blocks are the canonical part (byte-identical across
+engines and worker counts); the ``runtime`` block is provenance
+(cached-vs-executed shard counts) and legitimately varies between
+reruns of the same sweep.  Experiment-campaign reports carry no
+provenance at all, so their JSON is byte-identical whatever ran them.
+Graph families and algorithms come straight from the registries, so a
+family registered with ``from_size`` metadata is immediately usable
+here.
 """
 
 from __future__ import annotations
@@ -35,11 +45,18 @@ from typing import Sequence
 from repro.api import Scenario, canonical_json, resolve_store
 from repro.analysis.tables import Table, format_ratio, print_lines
 from repro.core.base import RendezvousAlgorithm
+from repro.experiments.campaign import (
+    DEFAULT_REPORT_DIR,
+    Campaign,
+    all_experiments,
+    load_reports,
+    render_report,
+)
 from repro.graphs import oriented_ring
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.lower_bounds import certify_theorem_31, certify_theorem_32
 from repro.lower_bounds.trim import trimmed_from_algorithm
-from repro.registry import ALGORITHMS, GRAPH_FAMILIES, SpecError
+from repro.registry import ALGORITHMS, EXPERIMENTS, GRAPH_FAMILIES, SpecError
 from repro.runtime import AlgorithmSpec, GraphSpec
 from repro.runtime.store import DEFAULT_CACHE_DIR
 
@@ -228,10 +245,25 @@ def command_certify(args: argparse.Namespace) -> int:
     graph = oriented_ring(size)
     algorithm = build_algorithm(args.algorithm, graph, args.label_space, args.weight)
     trimmed = trimmed_from_algorithm(algorithm, size)
-    if args.theorem == "3.1":
-        print_lines(certify_theorem_31(trimmed).summary_lines())
-    else:
-        print_lines(certify_theorem_32(trimmed).summary_lines())
+    certify = certify_theorem_31 if args.theorem == "3.1" else certify_theorem_32
+    certificate = certify(trimmed)
+    if args.json:
+        # Same canonical report schema as sweep/run/experiments: the
+        # instance under "scenario", the measured record under "result".
+        print(canonical_json({
+            "scenario": {
+                "graph": {"family": "ring", "params": {"n": size}},
+                "algorithm": {
+                    "name": args.algorithm,
+                    "label_space": args.label_space,
+                    "weight": args.weight,
+                },
+                "theorem": args.theorem,
+            },
+            "result": certificate.to_dict(),
+        }))
+        return 0
+    print_lines(certificate.summary_lines())
     return 0
 
 
@@ -261,6 +293,18 @@ def command_tradeoff(args: argparse.Namespace) -> int:
     points = tradeoff_points(
         algorithms, graph, f"ring-{graph.num_nodes}", label_pairs=pairs
     )
+    if args.json:
+        print(canonical_json({
+            "scenario": {
+                "graph": {"family": "ring", "params": {"n": graph.num_nodes}},
+                "label_space": label_space,
+                "weight": args.weight,
+                "label_pairs": [list(pair) for pair in pairs],
+                "algorithms": [algorithm.name for algorithm in algorithms],
+            },
+            "result": {"points": [point.to_dict() for point in points]},
+        }))
+        return 0
     table = Table(
         f"Tradeoff on the oriented {graph.num_nodes}-ring, L = {label_space} "
         "(adversarial pairs)",
@@ -273,6 +317,101 @@ def command_tradeoff(args: argparse.Namespace) -> int:
         )
     table.print()
     return 0
+
+
+def command_experiments_list(args: argparse.Namespace) -> int:
+    experiments = all_experiments()
+    if args.json:
+        print(canonical_json({
+            "experiments": [
+                {
+                    "id": experiment.id,
+                    "exp_id": experiment.exp_id,
+                    "title": experiment.title,
+                    "claim": experiment.claim,
+                    "source": experiment.source,
+                }
+                for experiment in experiments
+            ]
+        }))
+        return 0
+    table = Table(
+        "Registered experiments (run with: python -m repro experiments run ID...)",
+        ["id", "index", "title", "source"],
+    )
+    for experiment in experiments:
+        table.add_row(
+            experiment.id, experiment.exp_id, experiment.title,
+            experiment.source,
+        )
+    table.print()
+    return 0
+
+
+def _print_campaign_text(reports, profile: str) -> None:
+    for report in reports:
+        print()
+        for line in render_report(report):
+            print(line)
+    passed = sum(1 for report in reports if report.passed)
+    print()
+    print(f"campaign [{profile}]: {passed}/{len(reports)} experiments reproduced")
+
+
+def command_experiments_run(args: argparse.Namespace) -> int:
+    if args.all and args.ids:
+        raise SystemExit("pass experiment ids or --all, not both")
+    if not args.all and not args.ids:
+        raise SystemExit(
+            "pass experiment ids or --all; see `python -m repro experiments list`"
+        )
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("--no-cache contradicts --cache-dir")
+    for experiment_id in args.ids:
+        EXPERIMENTS.entry(experiment_id)  # SpecError lists the choices
+    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    campaign = Campaign(
+        experiments=args.ids or None,
+        quick=args.quick,
+        engine=args.engine,
+        workers=args.workers,
+        cache=store,
+        shard_count=args.shards,
+    )
+    result = campaign.run()
+    report_dir = (
+        args.report_dir if args.report_dir is not None else DEFAULT_REPORT_DIR
+    )
+    result.write_reports(report_dir)
+    if args.json:
+        print(result.to_json())
+    else:
+        _print_campaign_text(result.reports, result.profile)
+        print(f"reports written to {report_dir}")
+    return 0 if result.passed else 1
+
+
+def command_experiments_report(args: argparse.Namespace) -> int:
+    report_dir = (
+        args.report_dir if args.report_dir is not None else DEFAULT_REPORT_DIR
+    )
+    try:
+        reports = load_reports(report_dir)
+    except FileNotFoundError as err:
+        raise SystemExit(str(err)) from None
+    if not reports:
+        raise SystemExit(f"no report files in {report_dir!r}")
+    if args.json:
+        print(canonical_json({
+            "reports": [report.to_dict() for report in reports],
+            "passed": all(report.passed for report in reports),
+        }))
+        return 0
+    profiles = sorted({report.profile for report in reports})
+    _print_campaign_text(reports, "/".join(profiles))
+    return 0 if all(report.passed for report in reports) else 1
 
 
 def command_explore(args: argparse.Namespace) -> int:
@@ -356,6 +495,8 @@ def make_parser() -> argparse.ArgumentParser:
     certify_parser = sub.add_parser("certify", help="lower-bound certificate")
     common(certify_parser)
     certify_parser.add_argument("--theorem", choices=["3.1", "3.2"], default="3.1")
+    certify_parser.add_argument("--json", action="store_true",
+                                help="emit the canonical JSON report instead of text")
     certify_parser.set_defaults(func=command_certify)
 
     explore_parser = sub.add_parser("explore", help="exploration budget table")
@@ -365,7 +506,73 @@ def make_parser() -> argparse.ArgumentParser:
     tradeoff_parser.add_argument("--size", type=int, default=12)
     tradeoff_parser.add_argument("--label-space", type=int, default=64)
     tradeoff_parser.add_argument("--weight", type=int, default=2)
+    tradeoff_parser.add_argument("--json", action="store_true",
+                                 help="emit the canonical JSON report instead "
+                                      "of tables")
     tradeoff_parser.set_defaults(func=command_tradeoff)
+
+    experiments_parser = sub.add_parser(
+        "experiments", help="registered experiment campaigns (EXP-01…12 + extensions)"
+    )
+    experiments_sub = experiments_parser.add_subparsers(
+        dest="experiments_command", required=True
+    )
+
+    list_parser = experiments_sub.add_parser(
+        "list", help="list the registered experiments"
+    )
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(func=command_experiments_list)
+
+    exp_run_parser = experiments_sub.add_parser(
+        "run", help="run experiments and write their verdict reports"
+    )
+    exp_run_parser.add_argument("ids", nargs="*", metavar="ID",
+                                help="experiment ids (see `experiments list`)")
+    exp_run_parser.add_argument("--all", action="store_true",
+                                help="run every registered experiment")
+    exp_run_parser.add_argument("--quick", action="store_true",
+                                help="shrunk CI-sized grids (same definitions, "
+                                     "same verdict texts)")
+    exp_run_parser.add_argument("--engine", default="auto",
+                                choices=["auto", "batch", "compiled",
+                                         "parallel", "serial"],
+                                help="execution engine for the scenario grids "
+                                     "(default auto)")
+    exp_run_parser.add_argument("--workers", type=int, default=1,
+                                help="process-pool workers shared by the whole "
+                                     "campaign (default 1 = serial)")
+    exp_run_parser.add_argument("--shards", type=int, default=None,
+                                help="override the shard count")
+    exp_cache_group = exp_run_parser.add_mutually_exclusive_group()
+    exp_cache_group.add_argument("--cache", dest="no_cache",
+                                 action="store_false",
+                                 help="reuse/store sweep shards in the run "
+                                      "store (default)")
+    exp_cache_group.add_argument("--no-cache", dest="no_cache",
+                                 action="store_true",
+                                 help="bypass the run store entirely")
+    exp_run_parser.set_defaults(no_cache=False)
+    exp_run_parser.add_argument("--cache-dir", default=None,
+                                help=f"run-store directory (default "
+                                     f"{DEFAULT_CACHE_DIR})")
+    exp_run_parser.add_argument("--report-dir", default=None,
+                                help=f"where per-experiment JSON reports land "
+                                     f"(default {DEFAULT_REPORT_DIR})")
+    exp_run_parser.add_argument("--json", action="store_true",
+                                help="print the campaign as canonical JSON "
+                                     "(byte-identical across engines and "
+                                     "worker counts)")
+    exp_run_parser.set_defaults(func=command_experiments_run)
+
+    exp_report_parser = experiments_sub.add_parser(
+        "report", help="render previously written verdict reports"
+    )
+    exp_report_parser.add_argument("--report-dir", default=None,
+                                   help=f"report directory (default "
+                                        f"{DEFAULT_REPORT_DIR})")
+    exp_report_parser.add_argument("--json", action="store_true")
+    exp_report_parser.set_defaults(func=command_experiments_report)
 
     return parser
 

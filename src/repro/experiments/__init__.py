@@ -1,0 +1,58 @@
+"""Registered experiment campaigns: EXP-01…12 (and extensions) as data.
+
+Every experiment from DESIGN.md's index is a declarative
+:class:`~repro.experiments.base.Experiment` bundle -- Scenario grids,
+paper-bound assertions and a table renderer -- registered by id in
+:data:`repro.registry.EXPERIMENTS` and executed by the
+:class:`~repro.experiments.campaign.Campaign` runner through
+:meth:`repro.api.Scenario.run`, inheriting engine auto-selection,
+sharded parallel workers and run-store resumability.  Reports are
+canonical JSON, byte-identical across engines and worker counts;
+``python -m repro experiments {list,run,report}`` is the CLI surface and
+``tools/render_experiments.py`` regenerates the EXPERIMENTS.md verdict
+table from the report files.
+
+Quickstart::
+
+    from repro.experiments import Campaign
+
+    result = Campaign(["exp01", "exp03"], quick=True).run()
+    assert result.passed
+    print(result.report("exp03").to_json())
+"""
+
+from repro.experiments.base import (
+    Check,
+    Experiment,
+    ExperimentContext,
+    ExperimentReport,
+    check,
+)
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    DEFAULT_REPORT_DIR,
+    all_experiments,
+    load_reports,
+    render_report,
+    resolve_experiment,
+    run_experiment,
+)
+from repro.registry import EXPERIMENTS
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "Check",
+    "DEFAULT_REPORT_DIR",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentContext",
+    "ExperimentReport",
+    "all_experiments",
+    "check",
+    "load_reports",
+    "render_report",
+    "resolve_experiment",
+    "run_experiment",
+]

@@ -105,6 +105,34 @@ class Theorem31Certificate:
             and self.fact_38_holds
         )
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (mapping keys stringified for stability)."""
+        return {
+            "theorem": "3.1",
+            "ring_size": self.ring_size,
+            "label_space": self.label_space,
+            "exploration_budget": self.exploration_budget,
+            "gap": self.gap,
+            "slack": self.slack,
+            "mirrored": self.mirrored,
+            "heavy_labels": list(self.heavy_labels),
+            "back_values": {
+                str(label): value for label, value in self.back_values.items()
+            },
+            "facts": {
+                "3.3": self.fact_33_holds,
+                "3.5": self.fact_35_holds,
+                "3.6": self.fact_36_holds,
+                "3.7": self.fact_37_holds,
+                "3.8": self.fact_38_holds,
+            },
+            "all_facts_hold": self.all_facts_hold,
+            "path": list(self.path),
+            "chain_times": list(self.chain_times),
+            "predicted_time_lower": self.predicted_time_lower,
+            "realized_final_time": self.realized_final_time,
+        }
+
     def summary_lines(self) -> list[str]:
         check = {True: "ok", False: "VIOLATED"}
         return [
@@ -241,6 +269,48 @@ class Theorem32Certificate:
             and self.distinct_within_classes
             and self.fact_317_holds
         )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (mapping keys stringified for stability)."""
+        return {
+            "theorem": "3.2",
+            "ring_size": self.ring_size,
+            "label_space": self.label_space,
+            "exploration_budget": self.exploration_budget,
+            "block_rounds": self.block_rounds,
+            "deadlines": {
+                str(label): value for label, value in self.deadlines.items()
+            },
+            "deadline_blocks": {
+                str(label): value
+                for label, value in self.deadline_blocks.items()
+            },
+            "classes": {
+                str(block): list(members)
+                for block, members in self.classes.items()
+            },
+            "largest_class": list(self.largest_class),
+            "progress_vectors": {
+                str(label): list(vector)
+                for label, vector in self.progress_vectors.items()
+            },
+            "progress_weights": {
+                str(label): weight
+                for label, weight in self.progress_weights.items()
+            },
+            "facts": {
+                "3.9": self.fact_39_holds,
+                "3.12-14": self.invariants_hold,
+                "3.15": self.distinct_within_classes,
+                "3.17": self.fact_317_holds,
+            },
+            "all_facts_hold": self.all_facts_hold,
+            "max_weight": self.max_weight,
+            "implied_cost_lower": self.implied_cost_lower,
+            "measured_max_cost": self.measured_max_cost,
+            "effective_time_constant": self.effective_time_constant,
+            "pigeonhole_class_target": self.pigeonhole_class_target,
+        }
 
     def summary_lines(self) -> list[str]:
         check = {True: "ok", False: "VIOLATED"}

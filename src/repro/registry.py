@@ -240,8 +240,15 @@ KNOWLEDGE_MODELS = Registry(
     "knowledge model", providers=("repro.exploration.registry",)
 )
 
+#: Experiment id -> :class:`repro.experiments.base.Experiment` bundle.
+#: Metadata: ``order`` (display/campaign position), ``exp_id`` (the
+#: DESIGN.md index id, ``EXP-NN`` for verdict-table rows and ``EXT-*``
+#: for the extensions beyond the paper).
+EXPERIMENTS = Registry("experiment", providers=("repro.experiments.catalog",))
+
 __all__ = [
     "ALGORITHMS",
+    "EXPERIMENTS",
     "EXPLORATIONS",
     "GRAPH_FAMILIES",
     "KNOWLEDGE_MODELS",

@@ -339,19 +339,26 @@ class TestRunBehaviour:
             labels=(1, 2), starts=(0, 2), delay=4
         ).met
 
-    def test_run_matches_deprecated_object_sweep(self):
+    def test_run_matches_object_sweep(self):
+        # The spec world (Scenario.run) and the object world
+        # (sweep_objects) must report identical extremes and argmaxes.
+        from repro.api import sweep_objects
+
         scenario = tiny(algorithm="cheap", delays=(0, 1))
         run = scenario.run(engine="serial")
-        with pytest.deprecated_call():
-            from repro.analysis.sweep import worst_case_sweep
+        direct = sweep_objects(
+            scenario.build_algorithm(),
+            scenario.build_graph(),
+            scenario.graph_spec.label,
+            delays=(0, 1),
+            fix_first_start=True,
+        )
+        assert (direct.max_time, direct.max_cost) == (run.row.max_time, run.row.max_cost)
+        assert direct.worst_time_config == run.row.worst_time_config
+        assert direct.worst_cost_config == run.row.worst_cost_config
 
-            legacy = worst_case_sweep(
-                scenario.build_algorithm(),
-                scenario.build_graph(),
-                scenario.graph_spec.label,
-                delays=(0, 1),
-                fix_first_start=True,
-            )
-        assert (legacy.max_time, legacy.max_cost) == (run.row.max_time, run.row.max_cost)
-        assert legacy.worst_time_config == run.row.worst_time_config
-        assert legacy.worst_cost_config == run.row.worst_cost_config
+    def test_deprecated_sweep_shims_are_gone(self):
+        # PR history: analysis.sweep forwarded here with DeprecationWarnings;
+        # the shims are deleted, not silently kept.
+        with pytest.raises(ModuleNotFoundError):
+            import repro.analysis.sweep  # noqa: F401

@@ -1,0 +1,16 @@
+"""Shared fixtures for the experiments-subsystem tests.
+
+The quick campaign runs once per test session (uncached, serial) and is
+shared by every test that only needs to *read* reports; tests that need
+different execution routing (parallel workers, CLI) run their own.
+"""
+
+import pytest
+
+from repro.experiments import Campaign
+
+
+@pytest.fixture(scope="session")
+def quick_campaign():
+    """One serial, uncached quick-profile campaign over every experiment."""
+    return Campaign(quick=True).run()

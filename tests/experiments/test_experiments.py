@@ -1,0 +1,335 @@
+"""Tests for the registered experiment subsystem (repro.experiments)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    Campaign,
+    EXPERIMENTS,
+    Experiment,
+    ExperimentReport,
+    all_experiments,
+    load_reports,
+    render_report,
+    resolve_experiment,
+    run_experiment,
+)
+from repro.registry import SpecError
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+EXPECTED_IDS = [f"exp{n:02d}" for n in range(1, 13)] + [
+    "ablations", "memory", "gathering", "open-problem",
+]
+
+
+class TestRegistry:
+    def test_every_expected_experiment_id_resolves(self):
+        assert sorted(EXPERIMENTS.names()) == sorted(EXPECTED_IDS)
+        for experiment_id in EXPECTED_IDS:
+            experiment = EXPERIMENTS.get(experiment_id)
+            assert isinstance(experiment, Experiment)
+            assert experiment.id == experiment_id
+            assert experiment.claim and experiment.verdict_text
+
+    def test_campaign_order_is_exp01_through_extensions(self):
+        assert [experiment.id for experiment in all_experiments()] == EXPECTED_IDS
+
+    def test_exp_ids_are_unique_and_indexed(self):
+        exp_ids = [experiment.exp_id for experiment in all_experiments()]
+        assert len(set(exp_ids)) == len(exp_ids)
+        numbered = [e for e in exp_ids if e.startswith("EXP-")]
+        assert numbered == [f"EXP-{n:02d}" for n in range(1, 13)]
+        assert all(e.startswith("EXT-") for e in exp_ids if e not in numbered)
+
+    def test_unknown_id_raises_spec_error_naming_the_registry(self):
+        with pytest.raises(SpecError, match="experiment") as err:
+            EXPERIMENTS.get("exp99")
+        assert err.value.kind == "experiment"
+        assert "exp01" in err.value.choices
+
+    def test_resolve_experiment_passthrough_and_lookup(self):
+        experiment = EXPERIMENTS.get("exp03")
+        assert resolve_experiment(experiment) is experiment
+        assert resolve_experiment("exp03") is experiment
+        with pytest.raises(SpecError):
+            resolve_experiment("nope")
+
+    def test_registry_metadata_matches_the_bundles(self):
+        for entry in EXPERIMENTS.entries():
+            assert entry.metadata["exp_id"] == entry.target.exp_id
+
+
+class TestQuickCampaign:
+    def test_all_verdicts_reproduce_under_quick(self, quick_campaign):
+        assert quick_campaign.profile == "quick"
+        assert [r.experiment for r in quick_campaign.reports] == EXPECTED_IDS
+        for report in quick_campaign.reports:
+            assert report.passed, (report.experiment, report.failures)
+            assert report.verdict == EXPERIMENTS.get(
+                report.experiment
+            ).verdict_text
+
+    def test_reports_round_trip_through_json(self, quick_campaign):
+        for report in quick_campaign.reports:
+            text = report.to_json()
+            rebuilt = ExperimentReport.from_json(text)
+            assert rebuilt.to_json() == text
+            assert rebuilt.passed is report.passed
+
+    def test_report_rejects_unknown_fields_and_contradictory_flag(
+        self, quick_campaign
+    ):
+        payload = json.loads(quick_campaign.reports[0].to_json())
+        with pytest.raises(ValueError, match="unknown report fields"):
+            ExperimentReport.from_dict({**payload, "wall_clock": 1.0})
+        with pytest.raises(ValueError, match="contradicts"):
+            ExperimentReport.from_dict({**payload, "passed": False})
+
+    def test_scenario_units_carry_argmax_configs_and_margins(
+        self, quick_campaign
+    ):
+        report = quick_campaign.report("exp03")
+        assert report.units, "exp03 is scenario-driven"
+        for unit in report.units:
+            result = unit["result"]
+            assert set(result["worst_time_config"]) == {
+                "labels", "starts", "delay",
+            }
+            assert result["max_time"] <= result["time_bound"]
+
+    def test_every_report_renders(self, quick_campaign):
+        for report in quick_campaign.reports:
+            lines = render_report(report)
+            assert lines[-1].endswith(report.verdict)
+            assert any("[ok  ]" in line for line in lines)
+
+    def test_write_reports_purges_stale_unregistered_reports(
+        self, quick_campaign, tmp_path
+    ):
+        stale = tmp_path / "renamed-away.json"
+        stale.write_text(
+            quick_campaign.reports[0].to_json(), encoding="utf-8"
+        )
+        keep = tmp_path / "notes.txt"
+        keep.write_text("not a report", encoding="utf-8")
+        quick_campaign.write_reports(str(tmp_path))
+        assert not stale.exists(), "unregistered report must be purged"
+        assert keep.exists(), "non-json files are left alone"
+        assert len(load_reports(str(tmp_path))) == len(EXPECTED_IDS)
+
+    def test_rendering_a_loaded_report_matches_the_fresh_one(
+        self, quick_campaign, tmp_path
+    ):
+        quick_campaign.write_reports(str(tmp_path))
+        loaded = load_reports(str(tmp_path))
+        assert [r.experiment for r in loaded] == EXPECTED_IDS
+        for fresh, reloaded in zip(quick_campaign.reports, loaded):
+            assert render_report(reloaded) == render_report(fresh)
+
+    def test_serial_and_parallel_campaigns_are_byte_identical(
+        self, quick_campaign
+    ):
+        parallel = Campaign(quick=True, workers=2).run()
+        assert parallel.to_json() == quick_campaign.to_json()
+
+
+class TestCampaignRouting:
+    def test_subset_campaign_keeps_requested_order(self):
+        result = Campaign(["exp06", "memory"], quick=True).run()
+        assert [r.experiment for r in result.reports] == ["exp06", "memory"]
+        assert result.passed
+
+    def test_run_experiment_accepts_id_and_instance(self):
+        by_id = run_experiment("memory", quick=True)
+        by_instance = run_experiment(EXPERIMENTS.get("memory"), quick=True)
+        assert by_id.to_json() == by_instance.to_json()
+
+    def test_quick_and_full_profiles_share_verdict_text(self):
+        quick = run_experiment("exp06", quick=True)
+        assert quick.profile == "quick"
+        assert quick.verdict == EXPERIMENTS.get("exp06").verdict_text
+
+    def test_campaign_result_report_lookup(self, quick_campaign):
+        assert quick_campaign.report("exp12").exp_id == "EXP-12"
+        with pytest.raises(KeyError):
+            quick_campaign.report("nope")
+
+    def test_cached_rerun_is_byte_identical(self, tmp_path):
+        first = Campaign(["exp03"], quick=True, cache=str(tmp_path)).run()
+        second = Campaign(["exp03"], quick=True, cache=str(tmp_path)).run()
+        assert first.to_json() == second.to_json()
+
+
+def _load_render_tool():
+    spec = importlib.util.spec_from_file_location(
+        "render_experiments", REPO_ROOT / "tools" / "render_experiments.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRenderExperimentsTool:
+    def test_table_matches_experiments_md(self, quick_campaign, tmp_path):
+        # The acceptance gate: the generated table reproduced from quick
+        # campaign reports must be exactly the block shipped in
+        # EXPERIMENTS.md.
+        tool = _load_render_tool()
+        quick_campaign.write_reports(str(tmp_path))
+        table = tool.build_table(tool.load_reports(tmp_path))
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert tool.splice(text, table) == text
+
+    def test_check_mode_flags_a_stale_table(self, quick_campaign, tmp_path):
+        tool = _load_render_tool()
+        quick_campaign.write_reports(str(tmp_path / "reports"))
+        stale = tool.splice(
+            (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8"),
+            "| ID | Claim | Verdict |\n|---|---|---|\n| EXP-00 | none | no |",
+        )
+        target = tmp_path / "EXPERIMENTS.md"
+        target.write_text(stale, encoding="utf-8")
+        argv = [
+            "--reports", str(tmp_path / "reports"),
+            "--experiments-file", str(target),
+        ]
+        assert tool.main(argv + ["--check"]) == 1
+        assert tool.main(argv) == 0  # rewrites
+        assert tool.main(argv + ["--check"]) == 0
+
+    def test_missing_markers_fail_loudly(self, quick_campaign, tmp_path):
+        tool = _load_render_tool()
+        quick_campaign.write_reports(str(tmp_path / "reports"))
+        target = tmp_path / "EXPERIMENTS.md"
+        target.write_text("# no markers here\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="markers"):
+            tool.main([
+                "--reports", str(tmp_path / "reports"),
+                "--experiments-file", str(target),
+            ])
+
+
+class TestCli:
+    def test_experiments_list_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [item["id"] for item in payload["experiments"]] == EXPECTED_IDS
+
+    def test_experiments_run_writes_reports_and_prints_json(
+        self, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        argv = ["experiments", "run", "memory", "exp06", "--quick",
+                "--no-cache", "--json", "--report-dir", str(tmp_path)]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["profile"] == "quick"
+        assert [r["experiment"] for r in payload["reports"]] == [
+            "memory", "exp06",
+        ]
+        on_disk = json.loads(
+            (tmp_path / "exp06.json").read_text(encoding="utf-8")
+        )
+        assert on_disk == payload["reports"][1]
+
+    def test_experiments_report_renders_saved_reports(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["experiments", "run", "memory", "--quick", "--no-cache",
+                     "--json", "--report-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["experiments", "report", "--report-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "memory accounting" in out
+        assert "1/1 experiments reproduced" in out
+
+    def test_experiments_run_rejects_bad_flag_combinations(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="not both"):
+            main(["experiments", "run", "exp01", "--all"])
+        with pytest.raises(SystemExit, match="--all"):
+            main(["experiments", "run"])
+        with pytest.raises(SystemExit, match="contradicts"):
+            main(["experiments", "run", "memory", "--no-cache",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_experiments_run_unknown_id_lists_choices(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiments", "run", "exp99", "--quick"])
+
+    def test_experiments_report_without_reports_fails(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="no report"):
+            main(["experiments", "report", "--report-dir",
+                  str(tmp_path / "missing")])
+
+    def test_certify_json_is_canonical(self, capsys):
+        from repro.cli import main
+
+        argv = ["certify", "--theorem", "3.1", "--algorithm", "cheap-sim",
+                "--size", "12", "--label-space", "6", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["theorem"] == "3.1"
+        assert payload["result"]["all_facts_hold"] is True
+        assert payload["result"]["slack"] == 0
+
+    def test_certify_json_theorem_32(self, capsys):
+        from repro.cli import main
+
+        argv = ["certify", "--theorem", "3.2", "--algorithm", "fast-sim",
+                "--size", "12", "--label-space", "6", "--json"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["theorem"] == "3.2"
+        assert payload["result"]["measured_max_cost"] >= (
+            payload["result"]["implied_cost_lower"]
+        )
+
+    def test_tradeoff_json_points(self, capsys):
+        from repro.cli import main
+
+        assert main(["tradeoff", "--size", "12", "--label-space", "16",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        points = payload["result"]["points"]
+        assert [p["algorithm"] for p in points] == [
+            "cheap-simultaneous",
+            "fast-relabel-simultaneous(w=2)",
+            "fast-simultaneous",
+        ]
+        by_name = {p["algorithm"]: p for p in points}
+        assert (
+            by_name["cheap-simultaneous"]["max_cost"]
+            < by_name["fast-simultaneous"]["max_cost"]
+        )
+
+
+class TestDeprecationPolicy:
+    def test_quick_campaign_raises_no_internal_deprecations(self):
+        # The old worst_case_sweep* shims are deleted; nothing in a
+        # campaign may introduce a new internal DeprecationWarning.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_experiment("exp01", quick=True)
+        internal = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "repro" in str(pathlib.Path(w.filename))
+        ]
+        assert internal == []

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.analysis",
     "repro.runtime",
+    "repro.experiments",
 ]
 
 

@@ -1,13 +1,15 @@
 """CI smoke check for the CLI and the internal-deprecation policy.
 
-Three gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+Four gates, all dependency-free (run with ``python tools/ci_smoke.py``):
 
 1. ``python -m repro --help`` exits 0 in a fresh subprocess;
 2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
    end-to-end in-process and prints parseable canonical JSON;
-3. no ``DeprecationWarning`` originates from inside ``src/repro`` while
-   doing so -- the ``worst_case_sweep*`` shims exist for external
-   callers; package-internal code must use :mod:`repro.api` directly.
+3. ``experiments list --json`` exposes the registered experiment
+   catalog (all twelve EXP-NN ids);
+4. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+   doing so -- deprecation shims, if any ever exist, are for external
+   callers only; package-internal code must stay on the current API.
 """
 
 from __future__ import annotations
@@ -41,7 +43,8 @@ def check_help() -> None:
     )
     if proc.returncode != 0:
         fail(f"--help exited {proc.returncode}: {proc.stderr}")
-    for command in ("run", "sweep", "certify", "explore", "tradeoff"):
+    for command in ("run", "sweep", "certify", "explore", "tradeoff",
+                    "experiments"):
         if command not in proc.stdout:
             fail(f"--help does not mention the {command!r} command")
     print("help: OK")
@@ -96,7 +99,16 @@ def check_json_commands() -> None:
         fail("run --json reported no meeting")
     print("run --json: OK")
 
-    offenders = internal_deprecations(sweep_warnings + run_warnings)
+    list_out, list_warnings = run_cli_capturing(["experiments", "list", "--json"])
+    registered = {item["id"] for item in json.loads(list_out)["experiments"]}
+    missing = {f"exp{n:02d}" for n in range(1, 13)} - registered
+    if missing:
+        fail(f"experiments list is missing {sorted(missing)}")
+    print("experiments list --json: OK")
+
+    offenders = internal_deprecations(
+        sweep_warnings + run_warnings + list_warnings
+    )
     if offenders:
         lines = "\n".join(
             f"  {w.filename}:{w.lineno}: {w.message}" for w in offenders

@@ -1,0 +1,125 @@
+"""Regenerate the EXPERIMENTS.md verdict table from campaign reports.
+
+The table between the ``BEGIN/END GENERATED VERDICT TABLE`` markers in
+EXPERIMENTS.md is generated, never hand-edited: each row is the
+``exp_id`` / ``claim`` / ``verdict`` of one per-experiment JSON report
+written by ``python -m repro experiments run`` (the verdict text is part
+of the experiment's registered definition, so quick- and full-profile
+campaigns produce the same table as long as every check passes).
+
+Usage::
+
+    PYTHONPATH=src python -m repro experiments run --all [--quick]
+    PYTHONPATH=src python tools/render_experiments.py           # rewrite
+    PYTHONPATH=src python tools/render_experiments.py --check   # verify
+
+``--check`` exits non-zero (without writing) when the table on disk does
+not match the reports -- the CI gate against verdict regressions and
+hand-edits.  Only experiments indexed ``EXP-*`` appear in the table; the
+extensions (``EXT-*``) have reports too but are documented in prose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Mapping, Sequence
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_EXPERIMENTS_FILE = REPO / "EXPERIMENTS.md"
+#: Relative to the cwd, exactly like the CLI's default report dir -- a
+#: campaign run and this tool invoked from the same directory always
+#: agree on where the reports live.
+DEFAULT_REPORT_DIR = pathlib.Path(".repro_cache") / "experiments"
+
+BEGIN_MARKER = "<!-- BEGIN GENERATED VERDICT TABLE -->"
+END_MARKER = "<!-- END GENERATED VERDICT TABLE -->"
+
+
+def load_reports(directory: pathlib.Path) -> list[dict[str, Any]]:
+    if not directory.is_dir():
+        raise SystemExit(
+            f"no report directory {directory}; run "
+            "`python -m repro experiments run --all` first"
+        )
+    reports = []
+    for path in sorted(directory.glob("*.json")):
+        with open(path, encoding="utf-8") as handle:
+            reports.append(json.load(handle))
+    if not reports:
+        raise SystemExit(f"no report files in {directory}")
+    return reports
+
+
+def build_table(reports: Sequence[Mapping[str, Any]]) -> str:
+    """The markdown verdict table for the ``EXP-*`` reports, sorted by id."""
+    rows = sorted(
+        (report for report in reports if report["exp_id"].startswith("EXP-")),
+        key=lambda report: report["exp_id"],
+    )
+    if not rows:
+        raise SystemExit("no EXP-* reports to tabulate")
+    lines = ["| ID | Claim | Verdict |", "|---|---|---|"]
+    for report in rows:
+        lines.append(
+            f"| {report['exp_id']} | {report['claim']} | {report['verdict']} |"
+        )
+    return "\n".join(lines)
+
+
+def splice(text: str, table: str) -> str:
+    """Replace the marked table block of ``text`` with ``table``."""
+    try:
+        head, rest = text.split(BEGIN_MARKER, 1)
+        _, tail = rest.split(END_MARKER, 1)
+    except ValueError:
+        raise SystemExit(
+            f"EXPERIMENTS.md is missing the {BEGIN_MARKER!r} / "
+            f"{END_MARKER!r} markers"
+        ) from None
+    return f"{head}{BEGIN_MARKER}\n{table}\n{END_MARKER}{tail}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reports", default=str(DEFAULT_REPORT_DIR),
+        help=f"report directory (default {DEFAULT_REPORT_DIR})",
+    )
+    parser.add_argument(
+        "--experiments-file", default=str(DEFAULT_EXPERIMENTS_FILE),
+        help=f"file holding the verdict table (default "
+             f"{DEFAULT_EXPERIMENTS_FILE})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the table matches the reports instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    table = build_table(load_reports(pathlib.Path(args.reports)))
+    experiments_file = pathlib.Path(args.experiments_file)
+    current = experiments_file.read_text(encoding="utf-8")
+    updated = splice(current, table)
+    if args.check:
+        if current != updated:
+            print(
+                f"{experiments_file} verdict table does not match the "
+                f"reports in {args.reports}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{experiments_file}: verdict table matches the reports")
+        return 0
+    if current == updated:
+        print(f"{experiments_file}: verdict table already current")
+        return 0
+    experiments_file.write_text(updated, encoding="utf-8")
+    print(f"{experiments_file}: verdict table rewritten")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
