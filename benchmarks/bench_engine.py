@@ -32,6 +32,7 @@ from repro.runtime import (
     canonical_json,
     execute_job,
 )
+from repro.obs import MemorySink, Telemetry
 from repro.sim.adversary import (
     all_label_pairs,
     configurations,
@@ -43,6 +44,43 @@ from repro.sim.compiled import TrajectoryTable
 from repro.sim.simulator import simulate_rendezvous
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _instrumented_search(engine, graph, algorithm, configs, horizon):
+    """One engine pass under an in-memory telemetry collector.
+
+    Returns ``(report, elapsed_seconds, sink)``; the sink's gauges and
+    counters source the per-stage breakdown recorded in the baseline.
+    """
+    sink = MemorySink()
+    telemetry = Telemetry(sink)
+    started = time.perf_counter()
+    report = worst_case_search(
+        graph, algorithm, configs, horizon, engine=engine, telemetry=telemetry
+    )
+    elapsed = time.perf_counter() - started
+    telemetry.close()
+    return report, elapsed, sink
+
+
+def _engine_stages(sink: MemorySink, engine: str) -> dict:
+    """The per-stage split of one engine pass (from its telemetry)."""
+    gauges = sink.gauge_values()
+    if engine == "reactive":
+        return {
+            "search_seconds": round(
+                sink.span_totals().get("reactive.search", 0.0), 4
+            ),
+        }
+    stages = {
+        "table_build_seconds": round(
+            gauges.get(f"{engine}.table_build_seconds", 0.0), 4
+        ),
+        "scan_seconds": round(gauges.get(f"{engine}.scan_seconds", 0.0), 4),
+    }
+    if engine == "batch":
+        stages["chunks"] = int(sink.counter_totals().get("batch.chunks", 0))
+    return stages
 
 
 def test_engine_simulator_round_throughput(benchmark):
@@ -115,13 +153,12 @@ def compiled_engine_baseline(path: pathlib.Path | None = BASELINE_PATH) -> dict:
     def horizon(config):
         return default_horizon(algorithm, config)
 
-    started = time.perf_counter()
-    reactive = worst_case_search(graph, algorithm, configs, horizon, engine="reactive")
-    reactive_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    compiled = worst_case_search(graph, algorithm, configs, horizon, engine="compiled")
-    compiled_seconds = time.perf_counter() - started
+    reactive, reactive_seconds, reactive_sink = _instrumented_search(
+        "reactive", graph, algorithm, configs, horizon
+    )
+    compiled, compiled_seconds, compiled_sink = _instrumented_search(
+        "compiled", graph, algorithm, configs, horizon
+    )
 
     assert compiled == reactive, "engines diverged; do not record a baseline"
     assert not reactive.failures
@@ -150,14 +187,17 @@ def compiled_engine_baseline(path: pathlib.Path | None = BASELINE_PATH) -> dict:
                 "seconds": round(reactive_seconds, 4),
                 "configs_per_s": round(len(configs) / reactive_seconds, 1),
                 "rounds_per_s": round(rounds / reactive_seconds, 1),
+                "stages": _engine_stages(reactive_sink, "reactive"),
             },
             "compiled": {
                 "seconds": round(compiled_seconds, 4),
                 "configs_per_s": round(len(configs) / compiled_seconds, 1),
+                "stages": _engine_stages(compiled_sink, "compiled"),
             },
             "speedup": round(reactive_seconds / compiled_seconds, 2),
         },
         "batch_vs_compiled": batch_engine_baseline(graph, algorithm),
+        "runtime": runtime_baseline(),
         "reports_identical": True,
     }
     if path is not None:
@@ -187,19 +227,20 @@ def batch_engine_baseline(graph, algorithm) -> dict | None:
 
     def timed(engine):
         # Best of two: a single 100k-configuration pass is long enough to
-        # measure but still visibly jittery on shared CI runners.
-        best_seconds, report = None, None
+        # measure but still visibly jittery on shared CI runners.  The
+        # stage breakdown recorded is the best pass's, so the stages sum
+        # to (roughly) the reported seconds.
+        best = None
         for _ in range(2):
-            started = time.perf_counter()
-            report = worst_case_search(
-                graph, algorithm, configs, horizon, engine=engine
+            candidate = _instrumented_search(
+                engine, graph, algorithm, configs, horizon
             )
-            elapsed = time.perf_counter() - started
-            best_seconds = elapsed if best_seconds is None else min(best_seconds, elapsed)
-        return report, best_seconds
+            if best is None or candidate[1] < best[1]:
+                best = candidate
+        return best
 
-    compiled, compiled_seconds = timed("compiled")
-    batch, batch_seconds = timed("batch")
+    compiled, compiled_seconds, compiled_sink = timed("compiled")
+    batch, batch_seconds, batch_sink = timed("batch")
 
     assert batch == compiled, "engines diverged; do not record a baseline"
     assert not batch.failures
@@ -215,12 +256,51 @@ def batch_engine_baseline(graph, algorithm) -> dict | None:
         "compiled": {
             "seconds": round(compiled_seconds, 4),
             "configs_per_s": round(len(configs) / compiled_seconds, 1),
+            "stages": _engine_stages(compiled_sink, "compiled"),
         },
         "batch": {
             "seconds": round(batch_seconds, 4),
             "configs_per_s": round(len(configs) / batch_seconds, 1),
+            "stages": _engine_stages(batch_sink, "batch"),
         },
         "speedup": round(compiled_seconds / batch_seconds, 2),
+    }
+
+
+def runtime_baseline() -> dict:
+    """The sharded runtime sweep, with its merge/store split measured.
+
+    One serial pass of ``RUNTIME_JOB`` under an in-memory collector: the
+    recorded stages are the span totals of the runner's own phases, so
+    the baseline tracks where sharded-sweep wall-clock actually goes.
+    """
+    sink = MemorySink()
+    telemetry = Telemetry(sink)
+    started = time.perf_counter()
+    outcome = execute_job(
+        RUNTIME_JOB, executor=SerialExecutor(), telemetry=telemetry
+    )
+    elapsed = time.perf_counter() - started
+    telemetry.close()
+    spans = sink.span_totals()
+    shard_events = sink.of_kind("event")
+    shard_seconds = sum(
+        event["attrs"].get("seconds", 0.0)
+        for event in shard_events
+        if event["name"] == "shard.complete"
+    )
+    return {
+        "sweep": {
+            "algorithm": "fast-sim",
+            "graph": "ring(n=16)",
+            "configurations": RUNTIME_JOB.config_space_size(),
+            "shards": outcome.stats.shards_total,
+        },
+        "seconds": round(elapsed, 4),
+        "stages": {
+            "shard_seconds": round(shard_seconds, 4),
+            "merge_seconds": round(spans.get("merge", 0.0), 4),
+        },
     }
 
 

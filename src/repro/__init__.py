@@ -66,6 +66,13 @@ from repro.exploration import (
     best_exploration,
 )
 from repro.graphs import PortLabeledGraph, oriented_ring
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    Telemetry,
+    strip_timing,
+)
 from repro.registry import (
     ALGORITHMS,
     EXPERIMENTS,
@@ -93,7 +100,7 @@ from repro.sim import (
     worst_case_search,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -115,13 +122,16 @@ __all__ = [
     "GraphSpec",
     "IteratedDoublingRendezvous",
     "JobSpec",
+    "JsonlSink",
     "KNOWLEDGE_MODELS",
     "KnowledgeModel",
     "KnownMapDFS",
+    "MemorySink",
     "PRESENCE_MODELS",
     "ParallelExecutor",
     "PortLabeledGraph",
     "PresenceModel",
+    "ProgressSink",
     "Registry",
     "RendezvousAlgorithm",
     "RendezvousResult",
@@ -135,6 +145,7 @@ __all__ = [
     "Sweep",
     "SweepRow",
     "SweepRun",
+    "Telemetry",
     "UXSExploration",
     "__version__",
     "best_exploration",
@@ -145,6 +156,7 @@ __all__ = [
     "run_experiment",
     "run_job",
     "simulate_rendezvous",
+    "strip_timing",
     "sweep_objects",
     "worst_case_search",
 ]

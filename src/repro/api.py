@@ -40,6 +40,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, resolve_telemetry
 from repro.registry import (
     ALGORITHMS,
     GRAPH_FAMILIES,
@@ -237,6 +238,7 @@ def sweep_objects(
     fix_first_start: bool = False,
     sample: int | None = None,
     engine: str = "reactive",
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> SweepRow:
     """Adversarial worst-case search over live ``(algorithm, graph)`` objects.
 
@@ -273,6 +275,7 @@ def sweep_objects(
         max_rounds=horizon,
         sample=sample,
         engine=engine,
+        telemetry=telemetry,
     )
     return _row_from_report(algorithm, graph, graph_name, report)
 
@@ -285,6 +288,7 @@ def run_job(
     shard_count: int | None = None,
     graph: PortLabeledGraph | None = None,
     algorithm: RendezvousAlgorithm | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> tuple[SweepRow, RunStats]:
     """Runtime-backed worst-case sweep of a raw :class:`JobSpec`.
 
@@ -311,7 +315,12 @@ def run_job(
         # worker process (every pool worker would raise the same error).
         sim_batch.require_numpy()
     outcome = execute_job(
-        spec, executor=executor, store=store, shard_count=shard_count, graph=graph
+        spec,
+        executor=executor,
+        store=store,
+        shard_count=shard_count,
+        graph=graph,
+        telemetry=telemetry,
     )
     name = graph_name if graph_name is not None else spec.graph.label
     row = _row_from_report(algorithm, graph, name, outcome.report)
@@ -720,6 +729,7 @@ class Scenario:
         graph_name: str | None = None,
         graph: PortLabeledGraph | None = None,
         executor: Executor | None = None,
+        telemetry: Any = None,
     ) -> "ScenarioRun":
         """Execute the worst-case sweep this scenario describes.
 
@@ -736,7 +746,16 @@ class Scenario:
         executor axis only and stays open (the caller owns it -- how
         :meth:`Sweep.run` shares one pool across grid points); executors
         resolved here are closed before returning.
+
+        ``telemetry`` accepts ``None`` (off, the default), a
+        :class:`~repro.obs.telemetry.Telemetry`, or a bare sink (see
+        :func:`~repro.obs.telemetry.resolve_telemetry`).  It narrates the
+        run -- a ``scenario.run`` root span, an ``engine.resolved`` event,
+        the runtime's shard/store/merge instrumentation -- and never
+        changes it: the returned run is byte-identical with telemetry on
+        or off.
         """
+        tele = resolve_telemetry(telemetry)
         spec = self.job_spec()
         sim_engine = resolve_sim_engine(engine, self.algorithm)
         if sim_engine != spec.engine:
@@ -747,14 +766,26 @@ class Scenario:
             executor = resolve_engine(engine, workers, spec.config_space_size(graph))
         store = resolve_store(cache, cache_dir)
         try:
-            row, stats = run_job(
-                spec,
-                graph_name=graph_name,
-                executor=executor,
-                store=store,
-                shard_count=shard_count,
-                graph=graph,
-            )
+            with tele.span(
+                "scenario.run", algorithm=self.algorithm, graph=self.graph
+            ):
+                tele.event(
+                    "engine.resolved",
+                    requested=engine,
+                    sim_engine=sim_engine,
+                    executor=type(executor).__name__,
+                    workers=workers,
+                    cached=store is not None,
+                )
+                row, stats = run_job(
+                    spec,
+                    graph_name=graph_name,
+                    executor=executor,
+                    store=store,
+                    shard_count=shard_count,
+                    graph=graph,
+                    telemetry=tele,
+                )
         finally:
             if owned:
                 executor.close()
@@ -887,6 +918,7 @@ class Sweep:
         cache: bool | str | RunStore | None = None,
         cache_dir: str | None = None,
         shard_count: int | None = None,
+        telemetry: Any = None,
     ) -> "SweepRun":
         """Run every grid point and collect the outcomes, in grid order.
 
@@ -895,36 +927,44 @@ class Sweep:
         sweep pays process startup once -- whether the pool was requested
         explicitly (``engine="parallel"``, or ``auto`` with a worker
         count) or triggered by a point's configuration-space size under
-        the default ``auto``.
+        the default ``auto``.  ``telemetry`` (resolved as in
+        :meth:`Scenario.run`) wraps the whole grid in a ``sweep.run`` span
+        and streams per-point progress; one telemetry narrates all points.
         """
+        tele = resolve_telemetry(telemetry)
         shared: ParallelExecutor | None = None
         try:
             runs = []
-            for scenario in self.scenarios():
-                graph = scenario.build_graph()
-                # Route through resolve_engine itself (single source of
-                # truth for engine selection); its ParallelExecutor is
-                # lazy, so probing costs nothing and the shared pool is
-                # substituted for every point it would route to a pool.
-                routed = resolve_engine(
-                    engine, workers, scenario.config_space_size(graph)
-                )
-                executor: Executor | None = None
-                if isinstance(routed, ParallelExecutor):
-                    if shared is None:
-                        shared = ParallelExecutor(workers)
-                    executor = shared
-                runs.append(
-                    scenario.run(
-                        engine=engine,
-                        workers=workers,
-                        cache=cache,
-                        cache_dir=cache_dir,
-                        shard_count=shard_count,
-                        graph=graph,
-                        executor=executor,
+            with tele.span("sweep.run"):
+                scenarios = list(self.scenarios())
+                tele.gauge("sweep.grid_points", len(scenarios))
+                for position, scenario in enumerate(scenarios):
+                    graph = scenario.build_graph()
+                    # Route through resolve_engine itself (single source of
+                    # truth for engine selection); its ParallelExecutor is
+                    # lazy, so probing costs nothing and the shared pool is
+                    # substituted for every point it would route to a pool.
+                    routed = resolve_engine(
+                        engine, workers, scenario.config_space_size(graph)
                     )
-                )
+                    executor: Executor | None = None
+                    if isinstance(routed, ParallelExecutor):
+                        if shared is None:
+                            shared = ParallelExecutor(workers)
+                        executor = shared
+                    runs.append(
+                        scenario.run(
+                            engine=engine,
+                            workers=workers,
+                            cache=cache,
+                            cache_dir=cache_dir,
+                            shard_count=shard_count,
+                            graph=graph,
+                            executor=executor,
+                            telemetry=tele,
+                        )
+                    )
+                    tele.progress("grid", position + 1, len(scenarios))
         finally:
             if shared is not None:
                 shared.close()

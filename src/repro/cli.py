@@ -18,7 +18,20 @@ Commands:
   ``run`` writes one canonical JSON report per experiment (default
   ``.repro_cache/experiments/``), which
   ``tools/render_experiments.py`` turns back into the EXPERIMENTS.md
-  verdict table.
+  verdict table;
+* ``telemetry`` -- inspect telemetry artifacts: ``summary FILE``
+  renders a JSONL event stream (written by ``--telemetry FILE``) into
+  per-phase / per-shard breakdowns (``--check`` validates the schema
+  and exits non-zero on errors); ``strip [FILE]`` removes the
+  non-canonical ``timing`` sections from a JSON report so files can be
+  compared byte for byte.
+
+``run``, ``sweep`` and ``experiments run`` share one observability
+flag set: ``-v/--verbose`` narrates messages on stderr, ``--progress``
+draws a live progress line (rate and ETA) on stderr, and
+``--telemetry FILE`` streams the full JSONL event log to a file.
+Telemetry is strictly inert -- canonical reports are byte-identical
+with or without any of these flags.
 
 The CLI is a thin veneer over :mod:`repro.api`: flags assemble a
 declarative :class:`~repro.api.Scenario`, the scenario runs, and the
@@ -38,9 +51,11 @@ here.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.api import Scenario, canonical_json, resolve_store
 from repro.analysis.tables import Table, format_ratio, print_lines
@@ -52,6 +67,15 @@ from repro.experiments.campaign import (
     load_reports,
     render_report,
 )
+from repro.obs.events import (
+    read_events,
+    render_summary,
+    strip_timing,
+    summarize,
+    validate_events,
+)
+from repro.obs.sinks import JsonlSink, ProgressSink, combine
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.graphs import oriented_ring
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.lower_bounds import certify_theorem_31, certify_theorem_32
@@ -147,17 +171,56 @@ def scenario_from_args(
     ))
 
 
+@contextmanager
+def cli_telemetry(args: argparse.Namespace) -> Iterator[Telemetry]:
+    """The telemetry the shared observability flags describe.
+
+    ``--telemetry FILE`` streams the JSONL event log to the file;
+    ``--progress`` renders the live stderr progress line; ``--verbose``
+    additionally routes ``message`` events (traces, timing narration) to
+    stderr.  With none of the flags set this yields the no-op telemetry,
+    so instrumented code paths cost nothing.  The telemetry is closed on
+    exit (flushing the final counter snapshot and the progress newline).
+    """
+    sinks = []
+    if getattr(args, "telemetry", None):
+        sinks.append(JsonlSink(args.telemetry))
+    if getattr(args, "progress", False) or getattr(args, "verbose", False):
+        sinks.append(ProgressSink(
+            progress=bool(getattr(args, "progress", False)),
+            messages=bool(getattr(args, "verbose", False)),
+        ))
+    if not sinks:
+        yield NULL_TELEMETRY
+        return
+    telemetry = Telemetry(combine(sinks))
+    try:
+        yield telemetry
+    finally:
+        telemetry.close()
+
+
 def command_run(args: argparse.Namespace) -> int:
     scenario = scenario_from_args(args)
     graph = _from_flags(scenario.build_graph)
     algorithm = _from_flags(lambda: scenario.build_algorithm(graph))
-    result = _from_flags(lambda: scenario.simulate(
-        labels=(args.labels[0], args.labels[1]),
-        starts=(args.starts[0], args.starts[1]),
-        delay=args.delay,
-        graph=graph,
-        algorithm=algorithm,
-    ))
+    with cli_telemetry(args) as tele:
+        with tele.span("run", algorithm=scenario.algorithm, graph=scenario.graph):
+            result = _from_flags(lambda: scenario.simulate(
+                labels=(args.labels[0], args.labels[1]),
+                starts=(args.starts[0], args.starts[1]),
+                delay=args.delay,
+                graph=graph,
+                algorithm=algorithm,
+            ))
+        # Trace narration rides the telemetry message channel: --verbose
+        # lands it on stderr, --telemetry FILE records it as events.
+        for trace in result.traces:
+            tele.message(
+                f"agent {trace.label}: start={trace.start_node} "
+                f"wake={trace.wake_round} moves={trace.moves}"
+            )
+            tele.message(f"  positions: {trace.positions}")
     if args.json:
         payload = {
             "scenario": scenario.to_dict(),
@@ -184,11 +247,6 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"{algorithm.name} on {args.graph}-{graph.num_nodes} "
           f"(E={algorithm.exploration_budget}, L={args.label_space})")
     print(result.summary)
-    if args.verbose:
-        for trace in result.traces:
-            print(f"  agent {trace.label}: start={trace.start_node} "
-                  f"wake={trace.wake_round} moves={trace.moves}")
-            print(f"    positions: {trace.positions}")
     return 0
 
 
@@ -208,14 +266,16 @@ def command_sweep(args: argparse.Namespace) -> int:
     scenario = scenario_from_args(args, delays=delays)
     graph = _from_flags(scenario.build_graph)
     store = None if args.no_cache else resolve_store(True, args.cache_dir)
-    run = scenario.run(
-        engine=args.engine,
-        workers=args.workers,
-        cache=store,
-        shard_count=args.shards,
-        graph_name=f"{args.graph}-{graph.num_nodes}",
-        graph=graph,
-    )
+    with cli_telemetry(args) as tele:
+        run = scenario.run(
+            engine=args.engine,
+            workers=args.workers,
+            cache=store,
+            shard_count=args.shards,
+            graph_name=f"{args.graph}-{graph.num_nodes}",
+            graph=graph,
+            telemetry=tele,
+        )
     if args.json:
         print(canonical_json({**run.to_dict(), "runtime": run.runtime_dict()}))
         return 0
@@ -372,15 +432,21 @@ def command_experiments_run(args: argparse.Namespace) -> int:
     for experiment_id in args.ids:
         EXPERIMENTS.entry(experiment_id)  # SpecError lists the choices
     store = None if args.no_cache else resolve_store(True, args.cache_dir)
-    campaign = Campaign(
-        experiments=args.ids or None,
-        quick=args.quick,
-        engine=args.engine,
-        workers=args.workers,
-        cache=store,
-        shard_count=args.shards,
-    )
-    result = campaign.run()
+    with cli_telemetry(args) as tele:
+        campaign = Campaign(
+            experiments=args.ids or None,
+            quick=args.quick,
+            engine=args.engine,
+            workers=args.workers,
+            cache=store,
+            shard_count=args.shards,
+            telemetry=tele,
+        )
+        result = campaign.run()
+        if args.verbose:
+            tele.message("experiment timing:")
+            for line in result.timing_table():
+                tele.message(line)
     report_dir = (
         args.report_dir if args.report_dir is not None else DEFAULT_REPORT_DIR
     )
@@ -414,6 +480,44 @@ def command_experiments_report(args: argparse.Namespace) -> int:
     return 0 if all(report.passed for report in reports) else 1
 
 
+def command_telemetry_summary(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.file)
+    except (OSError, ValueError) as err:
+        raise SystemExit(str(err)) from None
+    errors = validate_events(events)
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"ok: {len(events)} events")
+        return 0
+    summary = summarize(events)
+    if args.json:
+        print(canonical_json(summary))
+        return 0
+    print_lines(render_summary(summary))
+    return 0
+
+
+def command_telemetry_strip(args: argparse.Namespace) -> int:
+    if args.file is None or args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as err:
+            raise SystemExit(str(err)) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"not valid JSON: {err}") from None
+    print(canonical_json(strip_timing(payload)))
+    return 0
+
+
 def command_explore(args: argparse.Namespace) -> int:
     from repro.exploration import KnowledgeModel, best_exploration
     from repro.graphs.families import standard_test_suite
@@ -442,6 +546,17 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # One observability flag set shared (argparse parents=) by every
+    # command that executes work: run, sweep, experiments run.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument("-v", "--verbose", action="store_true",
+                           help="narrate traces and messages on stderr")
+    obs_flags.add_argument("--progress", action="store_true",
+                           help="live progress line on stderr (rate, ETA)")
+    obs_flags.add_argument("--telemetry", metavar="FILE", default=None,
+                           help="stream the JSONL telemetry event log to FILE "
+                                "(render with `telemetry summary FILE`)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--graph", default="ring",
                        help=f"graph family (default ring); one of "
@@ -455,17 +570,18 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--weight", type=int, default=2,
                        help="w for FastWithRelabeling (default 2)")
 
-    run_parser = sub.add_parser("run", help="simulate one rendezvous")
+    run_parser = sub.add_parser("run", help="simulate one rendezvous",
+                                parents=[obs_flags])
     common(run_parser)
     run_parser.add_argument("--labels", type=int, nargs=2, default=(3, 5))
     run_parser.add_argument("--starts", type=int, nargs=2, default=(0, 5))
     run_parser.add_argument("--delay", type=int, default=0)
-    run_parser.add_argument("--verbose", action="store_true")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the canonical JSON report instead of text")
     run_parser.set_defaults(func=command_run)
 
-    sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep")
+    sweep_parser = sub.add_parser("sweep", help="worst-case adversarial sweep",
+                                  parents=[obs_flags])
     common(sweep_parser)
     sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
     sweep_parser.add_argument("--engine", default="auto",
@@ -525,7 +641,8 @@ def make_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=command_experiments_list)
 
     exp_run_parser = experiments_sub.add_parser(
-        "run", help="run experiments and write their verdict reports"
+        "run", help="run experiments and write their verdict reports",
+        parents=[obs_flags],
     )
     exp_run_parser.add_argument("ids", nargs="*", metavar="ID",
                                 help="experiment ids (see `experiments list`)")
@@ -573,6 +690,33 @@ def make_parser() -> argparse.ArgumentParser:
                                         f"{DEFAULT_REPORT_DIR})")
     exp_report_parser.add_argument("--json", action="store_true")
     exp_report_parser.set_defaults(func=command_experiments_report)
+
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="inspect telemetry event files and strip timing"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+
+    summary_parser = telemetry_sub.add_parser(
+        "summary", help="render a JSONL event file (per-phase, per-shard)"
+    )
+    summary_parser.add_argument("file", metavar="FILE",
+                                help="JSONL event file written by --telemetry")
+    summary_parser.add_argument("--json", action="store_true",
+                                help="emit the summary as canonical JSON")
+    summary_parser.add_argument("--check", action="store_true",
+                                help="validate the event schema only; exits "
+                                     "non-zero listing any violations")
+    summary_parser.set_defaults(func=command_telemetry_summary)
+
+    strip_parser = telemetry_sub.add_parser(
+        "strip", help="print a JSON report with its non-canonical timing "
+                      "sections removed (for byte-for-byte comparison)"
+    )
+    strip_parser.add_argument("file", nargs="?", default=None, metavar="FILE",
+                              help="JSON report file (default: stdin)")
+    strip_parser.set_defaults(func=command_telemetry_strip)
 
     return parser
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.api import Scenario, canonical_json
+from repro.obs.events import strip_timing
 from repro.runtime.spec import thaw_value
 
 #: The two grid profiles an experiment can run under.
@@ -101,9 +102,14 @@ class ExperimentReport:
     """The canonical verdict record of one executed experiment.
 
     Everything here is deterministic report content (claim, measured
-    numbers, argmax configurations, bound checks, verdict); run
-    provenance (timings, cache hits, worker counts) deliberately has no
-    field, so reports are byte-identical however they were produced.
+    numbers, argmax configurations, bound checks, verdict) -- except
+    ``timing``, an explicitly *non-canonical* wall-clock section
+    (``compare=False``, excluded from :meth:`canonical_dict`): two
+    reports of the same experiment are equal and canonically
+    byte-identical however long they took, whoever produced them, with
+    telemetry on or off.  Anything comparing report files byte for byte
+    must strip ``timing`` first (:func:`repro.obs.strip_timing`, or
+    ``python -m repro telemetry strip``).
     """
 
     experiment: str
@@ -115,6 +121,7 @@ class ExperimentReport:
     measurements: Mapping[str, Any]
     checks: tuple[Check, ...]
     verdict: str
+    timing: Mapping[str, Any] | None = field(default=None, compare=False)
 
     @property
     def passed(self) -> bool:
@@ -125,7 +132,7 @@ class ExperimentReport:
         return [item for item in self.checks if not item.passed]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "experiment": self.experiment,
             "exp_id": self.exp_id,
             "claim": self.claim,
@@ -137,15 +144,29 @@ class ExperimentReport:
             "verdict": self.verdict,
             "passed": self.passed,
         }
+        if self.timing is not None:
+            payload["timing"] = thaw_value(dict(self.timing))
+        return payload
 
     def to_json(self) -> str:
         return canonical_json(self.to_dict())
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The report content minus every non-canonical ``timing`` section.
+
+        What the byte-identity invariant quantifies over: equal across
+        engines, worker counts, cache states and telemetry settings.
+        """
+        return strip_timing(self.to_dict())
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.canonical_dict())
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentReport":
         known = {
             "experiment", "exp_id", "claim", "source", "profile",
-            "units", "measurements", "checks", "verdict", "passed",
+            "units", "measurements", "checks", "verdict", "passed", "timing",
         }
         unknown = set(payload) - known
         if unknown:
@@ -162,6 +183,7 @@ class ExperimentReport:
                 Check.from_dict(item) for item in payload.get("checks", ())
             ),
             verdict=payload["verdict"],
+            timing=payload.get("timing"),
         )
         if "passed" in payload and bool(payload["passed"]) != report.passed:
             raise ValueError(

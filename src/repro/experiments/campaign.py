@@ -15,11 +15,14 @@ verdict table from.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.api import canonical_json, resolve_store
 from repro.experiments.base import Experiment, ExperimentContext, ExperimentReport
+from repro.obs.events import strip_timing
+from repro.obs.telemetry import Telemetry, resolve_telemetry
 from repro.registry import EXPERIMENTS
 from repro.runtime.spec import thaw_value
 from repro.runtime.executor import Executor, make_executor
@@ -64,6 +67,7 @@ def run_experiment(
     cache_dir: str | None = None,
     shard_count: int | None = None,
     executor: Executor | None = None,
+    telemetry: Any = None,
 ) -> ExperimentReport:
     """Execute one experiment and return its canonical verdict report.
 
@@ -71,27 +75,47 @@ def run_experiment(
     engine/worker/cache routing (an explicit ``executor`` overrides the
     executor axis and stays open -- how :class:`Campaign` shares one pool
     across experiments); the extra measurements always run in-process.
+
+    The report carries a non-canonical ``timing`` section (total seconds,
+    per-unit seconds, measurement seconds), always measured -- telemetry
+    merely adds the event narration (an ``experiment`` span wrapping the
+    per-unit instrumentation).  The canonical report content is identical
+    whatever the telemetry setting.
     """
     experiment = resolve_experiment(experiment)
+    tele = resolve_telemetry(telemetry)
     units: list[dict[str, Any]] = []
-    for key, scenario in experiment.scenarios(quick):
-        run = scenario.run(
-            engine=engine,
-            workers=workers,
-            cache=cache,
-            cache_dir=cache_dir,
-            shard_count=shard_count,
-            executor=executor,
+    unit_timings: list[dict[str, Any]] = []
+    started = time.perf_counter()
+    with tele.span("experiment", id=experiment.id, exp_id=experiment.exp_id):
+        for key, scenario in experiment.scenarios(quick):
+            unit_started = time.perf_counter()
+            run = scenario.run(
+                engine=engine,
+                workers=workers,
+                cache=cache,
+                cache_dir=cache_dir,
+                shard_count=shard_count,
+                executor=executor,
+                telemetry=tele,
+            )
+            units.append({"key": key, **run.to_dict()})
+            unit_timings.append(
+                {
+                    "key": key,
+                    "seconds": round(time.perf_counter() - unit_started, 6),
+                }
+            )
+        measure_started = time.perf_counter()
+        # Thaw before assessment so checks and renderers always see the same
+        # JSON-shaped data a report loaded back from disk would carry.
+        context = ExperimentContext(
+            quick=quick,
+            units=tuple(units),
+            measurements=thaw_value(dict(experiment.measure(quick))),
         )
-        units.append({"key": key, **run.to_dict()})
-    # Thaw before assessment so checks and renderers always see the same
-    # JSON-shaped data a report loaded back from disk would carry.
-    context = ExperimentContext(
-        quick=quick,
-        units=tuple(units),
-        measurements=thaw_value(dict(experiment.measure(quick))),
-    )
-    checks = tuple(experiment.assess(context))
+        measure_seconds = time.perf_counter() - measure_started
+        checks = tuple(experiment.assess(context))
     passed = all(item.passed for item in checks)
     return ExperimentReport(
         experiment=experiment.id,
@@ -103,6 +127,11 @@ def run_experiment(
         measurements=context.measurements,
         checks=checks,
         verdict=experiment.verdict_text if passed else FAILED_VERDICT,
+        timing={
+            "seconds": round(time.perf_counter() - started, 6),
+            "units": unit_timings,
+            "measure_seconds": round(measure_seconds, 6),
+        },
     )
 
 
@@ -130,10 +159,18 @@ def render_report(report: ExperimentReport) -> list[str]:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """The reports of one campaign run, in campaign order."""
+    """The reports of one campaign run, in campaign order.
+
+    ``timing`` (and every report's own ``timing``) is non-canonical:
+    :meth:`canonical_dict`/:meth:`canonical_json` strip them, and those
+    are what byte-identity comparisons (serial vs. parallel, telemetry on
+    vs. off) must use -- ``python -m repro telemetry strip`` does the
+    same for files on disk.
+    """
 
     profile: str
     reports: tuple[ExperimentReport, ...]
+    timing: "dict[str, Any] | None" = field(default=None, compare=False)
 
     @property
     def passed(self) -> bool:
@@ -149,14 +186,39 @@ class CampaignResult:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "profile": self.profile,
             "reports": [report.to_dict() for report in self.reports],
             "passed": self.passed,
         }
+        if self.timing is not None:
+            payload["timing"] = self.timing
+        return payload
 
     def to_json(self) -> str:
         return canonical_json(self.to_dict())
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The campaign content minus every ``timing`` section."""
+        return strip_timing(self.to_dict())
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.canonical_dict())
+
+    def timing_table(self) -> list[str]:
+        """Human-readable per-experiment timing lines (empty when unknown)."""
+        if self.timing is None:
+            return []
+        rows = self.timing.get("experiments", [])
+        if not rows:
+            return []
+        width = max(len(row["experiment"]) for row in rows)
+        lines = [
+            f"  {row['experiment']:<{width}}  {row['seconds']:>9.3f}s"
+            for row in rows
+        ]
+        lines.append(f"  {'total':<{width}}  {self.timing['seconds']:>9.3f}s")
+        return lines
 
     def write_reports(self, directory: str = DEFAULT_REPORT_DIR) -> list[str]:
         """Write one ``<experiment-id>.json`` per report; returns paths.
@@ -213,7 +275,11 @@ class Campaign:
     ``experiments=None`` means *all of them*, in campaign order.  The
     engine/worker/cache knobs mirror :meth:`repro.api.Scenario.run`; a
     worker count creates ONE executor shared by every grid unit of every
-    experiment, so the pool is spun up once per campaign.
+    experiment, so the pool is spun up once per campaign.  ``telemetry``
+    (``None``, a :class:`~repro.obs.telemetry.Telemetry`, or a bare sink)
+    narrates the whole campaign under one ``campaign`` root span with
+    per-experiment progress; the result's canonical content is identical
+    with or without it.
     """
 
     experiments: Sequence["str | Experiment"] | None = None
@@ -223,6 +289,7 @@ class Campaign:
     cache: "bool | str | RunStore | None" = None
     cache_dir: str | None = None
     shard_count: int | None = None
+    telemetry: Any = None
 
     def resolved(self) -> list[Experiment]:
         if self.experiments is None:
@@ -231,27 +298,49 @@ class Campaign:
 
     def run(self) -> CampaignResult:
         experiments = self.resolved()
+        tele = resolve_telemetry(self.telemetry)
         # Resolve the store once so every experiment shares one cache
         # handle, mirroring the shared executor.
         store = resolve_store(self.cache, self.cache_dir)
         executor = make_executor(self.workers) if self.workers is not None else None
+        started = time.perf_counter()
+        rows: list[dict[str, Any]] = []
         try:
-            reports = tuple(
-                run_experiment(
-                    experiment,
-                    quick=self.quick,
-                    engine=self.engine,
-                    cache=store,
-                    shard_count=self.shard_count,
-                    executor=executor,
-                )
-                for experiment in experiments
-            )
+            reports = []
+            with tele.span("campaign", experiments=len(experiments)):
+                for position, experiment in enumerate(experiments):
+                    report = run_experiment(
+                        experiment,
+                        quick=self.quick,
+                        engine=self.engine,
+                        cache=store,
+                        shard_count=self.shard_count,
+                        executor=executor,
+                        telemetry=tele,
+                    )
+                    reports.append(report)
+                    rows.append(
+                        {
+                            "experiment": report.experiment,
+                            "seconds": (
+                                report.timing["seconds"]
+                                if report.timing is not None
+                                else 0.0
+                            ),
+                        }
+                    )
+                    tele.count("experiments.completed")
+                    tele.progress("experiments", position + 1, len(experiments))
         finally:
             if executor is not None:
                 executor.close()
         return CampaignResult(
-            profile="quick" if self.quick else "full", reports=reports
+            profile="quick" if self.quick else "full",
+            reports=tuple(reports),
+            timing={
+                "seconds": round(time.perf_counter() - started, 6),
+                "experiments": rows,
+            },
         )
 
 

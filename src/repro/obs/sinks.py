@@ -1,0 +1,278 @@
+"""Event sinks: where telemetry events go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Four are
+provided:
+
+* :class:`NullSink` -- swallows everything (the default substrate of the
+  no-op telemetry);
+* :class:`MemorySink` -- an in-process collector with aggregation
+  helpers, the substrate of tests and ``bench_engine.py``'s per-stage
+  breakdowns;
+* :class:`JsonlSink` -- appends one JSON line per event to a file, the
+  stream ``python -m repro telemetry summary`` renders;
+* :class:`ProgressSink` -- a throttled single-line stderr renderer with
+  rate and ETA, driven by ``progress`` events (plus ``message`` and
+  ``warning`` lines).
+
+:class:`MultiSink` fans one event out to several sinks, so ``--progress
+--telemetry FILE`` streams to the terminal and the file at once.  Sinks
+never mutate events and never feed anything back into the computation --
+the inertness invariant (byte-identical canonical reports with telemetry
+on or off) is enforced structurally by this one-way flow.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Iterable, Mapping, Protocol, TextIO
+
+
+class Sink(Protocol):
+    """Anything that can receive telemetry events."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class NullSink:
+    """Swallow every event (the substrate of the no-op telemetry)."""
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSink()"
+
+
+class MemorySink:
+    """Collect events in a list, with aggregation helpers.
+
+    The in-process collector: tests assert on its event stream, and
+    ``bench_engine.py`` reads its span/gauge aggregates to source the
+    per-stage timing breakdowns recorded in ``BENCH_engine.json``.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Aggregation helpers
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [event for event in self.events if event.get("ev") == kind]
+
+    def span_totals(self) -> dict[str, float]:
+        """Total seconds per span name, summed over ``span_end`` events."""
+        totals: dict[str, float] = {}
+        for event in self.of_kind("span_end"):
+            name = event["name"]
+            totals[name] = totals.get(name, 0.0) + event["seconds"]
+        return totals
+
+    def counter_totals(self) -> dict[str, float]:
+        """Final cumulative value per counter name."""
+        totals: dict[str, float] = {}
+        for event in self.of_kind("counter"):
+            totals[event["name"]] = event["value"]
+        return totals
+
+    def gauge_values(self) -> dict[str, Any]:
+        """Last recorded value per gauge name."""
+        values: dict[str, Any] = {}
+        for event in self.of_kind("gauge"):
+            values[event["name"]] = event["value"]
+        return values
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"MemorySink({len(self.events)} events)"
+
+
+class JsonlSink:
+    """Append one canonical JSON line per event to a file.
+
+    The file is truncated on open: one file describes one run, which is
+    what ``python -m repro telemetry summary`` (and the CI schema check)
+    expects.  Every line is flushed as written, so an interrupted run
+    leaves a readable prefix of its event stream.
+    """
+
+    def __init__(self, path_or_handle: "str | TextIO"):
+        if hasattr(path_or_handle, "write"):
+            self._handle: TextIO = path_or_handle  # type: ignore[assignment]
+            self._owned = False
+            self.path = getattr(path_or_handle, "name", "<stream>")
+        else:
+            self.path = str(path_or_handle)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owned and not self._handle.closed:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({self.path!r})"
+
+
+def _format_rate(rate: float) -> str:
+    if rate >= 1_000_000:
+        return f"{rate / 1_000_000:.1f}M/s"
+    if rate >= 1_000:
+        return f"{rate / 1_000:.1f}k/s"
+    return f"{rate:.1f}/s"
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressSink:
+    """A single-line stderr progress renderer with rate and ETA.
+
+    ``progress`` events redraw one carriage-return line (throttled to
+    ``min_interval`` seconds between redraws, except for completions);
+    ``warning`` events always break onto their own line; ``message``
+    events do so only when ``messages=True`` (the ``--verbose`` route).
+    The line also shows the cumulative ``configs.evaluated`` counter and
+    its rate when one has been observed -- the number a long sweep is
+    actually burning through.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval: float = 0.1,
+        progress: bool = True,
+        messages: bool = False,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.progress = progress
+        self.messages = messages
+        self._last_render = -1.0
+        self._line_len = 0
+        self._configs = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _clear_line(self) -> None:
+        if self._line_len:
+            self.stream.write("\r" + " " * self._line_len + "\r")
+            self._line_len = 0
+
+    def _write_line(self, text: str) -> None:
+        self._clear_line()
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def _redraw(self, text: str) -> None:
+        padding = max(self._line_len - len(text), 0)
+        self.stream.write("\r" + text + " " * padding)
+        self.stream.flush()
+        self._line_len = len(text)
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        kind = event.get("ev")
+        if kind == "counter" and event.get("name") == "configs.evaluated":
+            self._configs = event["value"]
+        elif kind == "warning":
+            self._write_line(f"warning: {event.get('message', '')}")
+        elif kind == "message" and self.messages:
+            self._write_line(str(event.get("text", "")))
+        elif kind == "progress" and self.progress:
+            self._render_progress(event)
+
+    def _render_progress(self, event: Mapping[str, Any]) -> None:
+        ts = float(event.get("ts", 0.0))
+        done = event.get("done", 0)
+        total = event.get("total")
+        finished = total is not None and done >= total
+        if not finished and ts - self._last_render < self.min_interval:
+            return
+        self._last_render = ts
+        parts = [f"{event.get('name', 'progress')} {done}"]
+        if total:
+            parts[-1] += f"/{total} ({100.0 * done / total:3.0f}%)"
+        if ts > 0:
+            parts.append(_format_rate(done / ts))
+            if self._configs:
+                parts.append(
+                    f"{int(self._configs)} configs "
+                    f"({_format_rate(self._configs / ts)})"
+                )
+            if total is not None and done and not finished:
+                parts.append(f"eta {_format_eta((total - done) * ts / done)}")
+        self._redraw("  ".join(parts))
+
+    def close(self) -> None:
+        if self._line_len:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_len = 0
+
+    def __repr__(self) -> str:
+        return f"ProgressSink(progress={self.progress}, messages={self.messages})"
+
+
+class MultiSink:
+    """Fan each event out to several sinks (closed in order)."""
+
+    def __init__(self, *sinks: Sink):
+        self.sinks: tuple[Sink, ...] = tuple(sinks)
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __repr__(self) -> str:
+        return f"MultiSink({', '.join(repr(s) for s in self.sinks)})"
+
+
+def combine(sinks: Iterable[Sink]) -> Sink:
+    """One sink equivalent to emitting to every given sink."""
+    sinks = list(sinks)
+    if not sinks:
+        return NullSink()
+    if len(sinks) == 1:
+        return sinks[0]
+    return MultiSink(*sinks)
+
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "MultiSink",
+    "NullSink",
+    "ProgressSink",
+    "Sink",
+    "combine",
+]

@@ -13,7 +13,7 @@ shards completed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.sim.adversary import Configuration
@@ -89,28 +89,72 @@ def _better(
 
 
 @dataclass(frozen=True)
+class ShardTiming:
+    """How long one shard took, and where the time went.
+
+    The telemetry channel out of worker processes: workers cannot share a
+    :class:`~repro.obs.telemetry.Telemetry` with the coordinator, so their
+    measurements ride back on the :class:`ShardReport` and the runner
+    re-emits them as ``shard.complete`` events.  Never part of equality
+    or canonical payloads -- timing is observability data, not a result.
+    """
+
+    seconds: float
+    table_seconds: float = 0.0
+    engine: str = "reactive"
+    chunks: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seconds": self.seconds,
+            "table_seconds": self.table_seconds,
+            "engine": self.engine,
+            "chunks": self.chunks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ShardTiming":
+        return cls(
+            seconds=payload["seconds"],
+            table_seconds=payload.get("table_seconds", 0.0),
+            engine=payload.get("engine", "reactive"),
+            chunks=payload.get("chunks", 0),
+        )
+
+
+@dataclass(frozen=True)
 class ShardReport:
-    """Result of running one configuration shard ``[lo, hi)``."""
+    """Result of running one configuration shard ``[lo, hi)``.
+
+    ``timing`` is non-canonical (``compare=False``): two reports of the
+    same shard are equal whatever their wall-clock story, and cached
+    reports loaded from the store merge identically to fresh ones.
+    """
 
     shard: tuple[int, int]
     executions: int
     worst_time: ExtremeSummary | None
     worst_cost: ExtremeSummary | None
     failures: tuple[ConfigRef, ...] = ()
+    timing: ShardTiming | None = field(default=None, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "shard": list(self.shard),
             "executions": self.executions,
             "worst_time": None if self.worst_time is None else self.worst_time.to_dict(),
             "worst_cost": None if self.worst_cost is None else self.worst_cost.to_dict(),
             "failures": [failure.to_dict() for failure in self.failures],
         }
+        if self.timing is not None:
+            payload["timing"] = self.timing.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ShardReport":
         worst_time = payload.get("worst_time")
         worst_cost = payload.get("worst_cost")
+        timing = payload.get("timing")
         return cls(
             shard=(payload["shard"][0], payload["shard"][1]),
             executions=payload["executions"],
@@ -119,6 +163,7 @@ class ShardReport:
             failures=tuple(
                 ConfigRef.from_dict(failure) for failure in payload.get("failures", ())
             ),
+            timing=None if timing is None else ShardTiming.from_dict(timing),
         )
 
 

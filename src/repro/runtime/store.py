@@ -25,16 +25,21 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any
 
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.runtime.report import ShardReport
 from repro.runtime.spec import JobSpec
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
-_FORMAT_VERSION = 1
+#: Bumped to 2 when shard records gained the optional ``timing`` section
+#: (readers tolerate its absence, but the filename isolation keeps record
+#: formats from mixing within one file).
+_FORMAT_VERSION = 2
 
 
 def _library_version() -> str:
@@ -69,18 +74,25 @@ class RunStore:
             / f"{spec.sweep_key()}-v{_library_version()}-f{_FORMAT_VERSION}.jsonl"
         )
 
-    def load(self, spec: JobSpec) -> dict[tuple[int, int], ShardReport]:
+    def load(
+        self, spec: JobSpec, telemetry: Telemetry = NULL_TELEMETRY
+    ) -> dict[tuple[int, int], ShardReport]:
         """All completed shards of the spec's sweep, keyed by shard bounds.
 
         Undecodable lines -- a truncated trailing line after an
         interruption, or (pathologically) a torn line from a concurrent
         writer on a filesystem without atomic appends -- are skipped, not
-        fatal: the affected shards simply re-execute.
+        fatal: the affected shards simply re-execute.  They are counted,
+        though: each torn line costs a shard of recomputation, so a
+        ``warnings.warn`` (and a telemetry warning event plus the
+        ``store.torn_lines`` counter) names the cache file instead of
+        letting resumed runs quietly redo work.
         """
         path = self.path_for(spec)
         if not path.exists():
             return {}
         shards: dict[tuple[int, int], ShardReport] = {}
+        torn = 0
         with path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -89,6 +101,7 @@ class RunStore:
                 try:
                     payload: dict[str, Any] = json.loads(line)
                 except json.JSONDecodeError:
+                    torn += 1
                     continue
                 if payload.get("kind") != "shard":
                     # Headers (and unknown record kinds) are informational;
@@ -98,6 +111,15 @@ class RunStore:
                     continue
                 report = ShardReport.from_dict(payload["report"])
                 shards[report.shard] = report
+        if torn:
+            message = (
+                f"run store {path} contains {torn} undecodable line(s) "
+                "(interrupted write or corruption); the affected shards "
+                "will re-execute"
+            )
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            telemetry.warn(message, file=str(path), lines=torn)
+            telemetry.count("store.torn_lines", torn)
         return shards
 
     def append(self, spec: JobSpec, report: ShardReport) -> None:

@@ -20,13 +20,14 @@ per configuration -- and hence the shard report -- is identical.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 from typing import Iterator
 
 from repro.core.base import RendezvousAlgorithm
 from repro.graphs.port_graph import PortLabeledGraph
 from repro.registry import PRESENCE_MODELS
-from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport
+from repro.runtime.report import ConfigRef, ExtremeSummary, ShardReport, ShardTiming
 from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
 from repro.sim.adversary import Configuration, default_horizon
 from repro.sim.batch import BatchTimelineTable, evaluate_stream
@@ -58,11 +59,41 @@ def _batch_table(
     return BatchTimelineTable(graph, algorithm)
 
 
+class _ShardMeter:
+    """Per-shard wall-clock bookkeeping, filled while the stream runs.
+
+    Tables are memoised per process, so the per-shard table-build cost is
+    the *delta* of the table's cumulative ``build_seconds`` across this
+    shard (the first shard of a sweep pays the builds; later shards read
+    the cache and report ~0).  Purely observational: the numbers ride
+    back on the :class:`~repro.runtime.report.ShardTiming` and never
+    influence the measurements.
+    """
+
+    def __init__(self) -> None:
+        self.table_seconds = 0.0
+        self.chunks = 0
+        self._table = None
+        self._build_start = 0.0
+
+    def watch_table(self, table) -> None:
+        self._table = table
+        self._build_start = table.build_seconds
+
+    def finish(self) -> None:
+        if self._table is not None:
+            self.table_seconds = self._table.build_seconds - self._build_start
+
+    def on_chunk(self, size: int, seconds: float) -> None:
+        self.chunks += 1
+
+
 def _measured_stream(
     spec: JobSpec,
     graph: PortLabeledGraph,
     algorithm: RendezvousAlgorithm,
     presence,
+    meter: _ShardMeter | None = None,
 ) -> Iterator[tuple[int, Configuration, int | None, int]]:
     """``(index, config, time, cost)`` for the shard, in enumeration order.
 
@@ -80,17 +111,22 @@ def _measured_stream(
     indexed = spec.iter_shard(graph)
     if spec.engine == "batch":
         table = _batch_table(spec.graph, spec.algorithm)
-        for index, config, _horizon, time, cost in evaluate_stream(
+        if meter is not None:
+            meter.watch_table(table)
+        for index, config, _horizon, time_, cost in evaluate_stream(
             table,
             ((index, config, horizon_for(config)) for index, config in indexed),
             presence,
+            on_chunk=meter.on_chunk if meter is not None else None,
         ):
-            yield index, config, time, cost
+            yield index, config, time_, cost
     elif spec.engine == "compiled":
         table = _trajectory_table(spec.graph, spec.algorithm)
+        if meter is not None:
+            meter.watch_table(table)
         for index, config in indexed:
-            time, cost = table.evaluate(config, horizon_for(config), presence)
-            yield index, config, time, cost
+            time_, cost = table.evaluate(config, horizon_for(config), presence)
+            yield index, config, time_, cost
     else:
         for index, config in indexed:
             result = simulate_rendezvous(
@@ -115,6 +151,7 @@ def run_shard(spec: JobSpec) -> ShardReport:
     maximisers -- the invariant :func:`repro.runtime.report.merge_reports`
     relies on.
     """
+    started = time.perf_counter()
     graph, algorithm = _materialize(spec.graph, spec.algorithm)
     presence = PRESENCE_MODELS.get(spec.presence)  # SpecError if unknown
     lo, hi = spec.shard if spec.shard is not None else (0, spec.config_space_size(graph))
@@ -123,10 +160,13 @@ def run_shard(spec: JobSpec) -> ShardReport:
     worst_cost: ExtremeSummary | None = None
     failures: list[ConfigRef] = []
     executions = 0
+    meter = _ShardMeter()
 
-    for index, config, time, cost in _measured_stream(spec, graph, algorithm, presence):
+    for index, config, time_, cost in _measured_stream(
+        spec, graph, algorithm, presence, meter
+    ):
         executions += 1
-        if time is None:
+        if time_ is None:
             failures.append(
                 ConfigRef(
                     index=index,
@@ -141,7 +181,7 @@ def run_shard(spec: JobSpec) -> ShardReport:
             labels=config.labels,
             starts=config.starts,
             delay=config.delay,
-            time=time,
+            time=time_,
             cost=cost,
         )
         if worst_time is None or summary.time > worst_time.time:
@@ -149,10 +189,17 @@ def run_shard(spec: JobSpec) -> ShardReport:
         if worst_cost is None or summary.cost > worst_cost.cost:
             worst_cost = summary
 
+    meter.finish()
     return ShardReport(
         shard=(lo, hi),
         executions=executions,
         worst_time=worst_time,
         worst_cost=worst_cost,
         failures=tuple(failures),
+        timing=ShardTiming(
+            seconds=round(time.perf_counter() - started, 6),
+            table_seconds=round(meter.table_seconds, 6),
+            engine=spec.engine,
+            chunks=meter.chunks,
+        ),
     )

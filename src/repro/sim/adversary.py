@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.metrics import RendezvousResult
 from repro.sim.program import ProgramFactory
 from repro.sim.simulator import (
@@ -159,6 +160,7 @@ def worst_case_search(
     sample: int | None = None,
     rng: random.Random | None = None,
     engine: str = "reactive",
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> WorstCaseReport:
     """Run every configuration and keep the extremes.
 
@@ -213,37 +215,44 @@ def worst_case_search(
     if engine == "batch":
         from repro.sim.batch import batch_worst_case_search
 
-        return batch_worst_case_search(graph, factory, configs, max_rounds, presence)
+        return batch_worst_case_search(
+            graph, factory, configs, max_rounds, presence, telemetry=telemetry
+        )
     if engine == "compiled":
         from repro.sim.compiled import compiled_worst_case_search
 
-        return compiled_worst_case_search(graph, factory, configs, max_rounds, presence)
+        return compiled_worst_case_search(
+            graph, factory, configs, max_rounds, presence, telemetry=telemetry
+        )
 
     worst_time: ExtremeRecord | None = None
     worst_cost: ExtremeRecord | None = None
     failures: list[Configuration] = []
     executions = 0
 
-    for config in configs:
-        horizon = max_rounds(config) if callable(max_rounds) else max_rounds
-        result = simulate_rendezvous(
-            graph,
-            factory,
-            labels=config.labels,
-            starts=config.starts,
-            delay=config.delay,
-            max_rounds=horizon,
-            presence=presence,
-        )
-        executions += 1
-        if not result.met:
-            failures.append(config)
-            continue
-        record = ExtremeRecord(config=config, result=result)
-        if worst_time is None or record.time > worst_time.time:
-            worst_time = record
-        if worst_cost is None or record.cost > worst_cost.cost:
-            worst_cost = record
+    with telemetry.span("reactive.search"):
+        for config in configs:
+            horizon = max_rounds(config) if callable(max_rounds) else max_rounds
+            result = simulate_rendezvous(
+                graph,
+                factory,
+                labels=config.labels,
+                starts=config.starts,
+                delay=config.delay,
+                max_rounds=horizon,
+                presence=presence,
+            )
+            executions += 1
+            if not result.met:
+                failures.append(config)
+                continue
+            record = ExtremeRecord(config=config, result=result)
+            if worst_time is None or record.time > worst_time.time:
+                worst_time = record
+            if worst_cost is None or record.cost > worst_cost.cost:
+                worst_cost = record
+        if telemetry.enabled:
+            telemetry.count("configs.evaluated", executions)
 
     return WorstCaseReport(
         worst_time=worst_time,

@@ -37,10 +37,12 @@ configurations -- never the full adversarial space -- in memory.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.adversary import (
     Configuration,
     ExtremeRecord,
@@ -277,6 +279,11 @@ class BatchTimelineTable:
             graph, factory, provide_map, provide_position
         )
         self._labels: dict[int, LabelTimelines] = {}
+        #: Cumulative wall-clock seconds spent building label matrices
+        #: (including the nested trajectory compiles they trigger) -- the
+        #: "table build" half of this engine's profile.  Observability
+        #: data only: nothing reads it back into the computation.
+        self.build_seconds = 0.0
         # (labels, delay, horizon, presence) -> (met, cost) matrices.
         # Bounded FIFO: shards and stream chunks of one sweep revisit the
         # same groups, so each matrix is computed once per process.
@@ -288,6 +295,7 @@ class BatchTimelineTable:
         """The stacked (all-starts) timeline arrays of one label."""
         stacked = self._labels.get(label)
         if stacked is None:
+            started = time.perf_counter()
             np = self._np
             rows = [
                 self.trajectories.trajectory(label, start)
@@ -303,6 +311,7 @@ class BatchTimelineTable:
                 length=rows[0].length,
             )
             self._labels[label] = stacked
+            self.build_seconds += time.perf_counter() - started
         return stacked
 
     def __len__(self) -> int:
@@ -461,6 +470,7 @@ def evaluate_stream(
     items: Iterable[tuple[Any, Configuration, int]],
     presence: PresenceModel = PresenceModel.FROM_START,
     chunk_size: int = DEFAULT_STREAM_CHUNK,
+    on_chunk: Callable[[int, float], None] | None = None,
 ) -> Iterator[tuple[Any, Configuration, int, int | None, int]]:
     """Measure a lazy ``(key, config, horizon)`` stream, preserving order.
 
@@ -469,7 +479,9 @@ def evaluate_stream(
     chunk through :meth:`BatchTimelineTable.evaluate_many`, and yields
     ``(key, config, horizon, time, cost)`` in the input order -- the shape
     both :func:`batch_worst_case_search` and the runtime worker's shard
-    loop consume.
+    loop consume.  ``on_chunk(size, seconds)`` is called once per
+    vectorized pass (telemetry's chunk-timing hook); it observes and must
+    never influence the measurements.
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -480,9 +492,12 @@ def evaluate_stream(
             return
         configs = [config for _, config, _ in chunk]
         horizons = [horizon for _, _, horizon in chunk]
+        started = time.perf_counter() if on_chunk is not None else 0.0
         measured = table.evaluate_many(configs, horizons, presence)
-        for (key, config, horizon), (time, cost) in zip(chunk, measured):
-            yield key, config, horizon, time, cost
+        if on_chunk is not None:
+            on_chunk(len(chunk), time.perf_counter() - started)
+        for (key, config, horizon), (time_, cost) in zip(chunk, measured):
+            yield key, config, horizon, time_, cost
 
 
 def batch_worst_case_search(
@@ -491,6 +506,7 @@ def batch_worst_case_search(
     configs: Iterable[Configuration],
     max_rounds: int | Callable[[Configuration], int],
     presence: PresenceModel = PresenceModel.FROM_START,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> WorstCaseReport:
     """The batch engine behind ``worst_case_search(engine="batch")``.
 
@@ -498,7 +514,9 @@ def batch_worst_case_search(
     enumeration order, so ties keep the earliest configuration); the
     configuration stream is consumed lazily in bounded chunks, and the
     full results of the two argmax records are reconstructed once at the
-    end, never per configuration.
+    end, never per configuration.  Telemetry splits the sweep's wall
+    clock into table build (timeline stacking) versus vectorized scan,
+    and counts the chunks.
     """
     np = require_numpy()
     table = BatchTimelineTable(graph, factory)
@@ -507,39 +525,54 @@ def batch_worst_case_search(
     worst_cost: tuple[int, Configuration, int] | None = None
     failures: list[Configuration] = []
     executions = 0
+    chunks = 0
 
-    iterator = iter(configs)
-    while True:
-        chunk = list(itertools.islice(iterator, DEFAULT_STREAM_CHUNK))
-        if not chunk:
-            break
-        if horizon_of is not None:
-            horizons = [horizon_of(config) for config in chunk]
-        else:
-            horizons = [max_rounds] * len(chunk)
-        met, cost = table.evaluate_arrays(chunk, horizons, presence)
-        executions += len(chunk)
-        missed = np.nonzero(met < 0)[0]
-        for position in missed.tolist():
-            failures.append(chunk[position])
-        if missed.size == len(chunk):
-            continue
-        # argmax returns the FIRST maximiser, and failures sit at -1 <
-        # any meeting time (costs are masked to -1), so each chunk's
-        # candidate carries the lowest in-chunk position -- combined with
-        # the strict-> update across chunks this is exactly the serial
-        # first-wins tie-break.
-        position = int(met.argmax())
-        if worst_time is None or met[position] > worst_time[0]:
-            worst_time = (int(met[position]), chunk[position], horizons[position])
-        masked_cost = np.where(met >= 0, cost, -1)
-        position = int(masked_cost.argmax())
-        if worst_cost is None or masked_cost[position] > worst_cost[0]:
-            worst_cost = (
-                int(masked_cost[position]),
-                chunk[position],
-                horizons[position],
+    with telemetry.span("batch.search"):
+        started = time.perf_counter()
+        iterator = iter(configs)
+        while True:
+            chunk = list(itertools.islice(iterator, DEFAULT_STREAM_CHUNK))
+            if not chunk:
+                break
+            chunks += 1
+            if horizon_of is not None:
+                horizons = [horizon_of(config) for config in chunk]
+            else:
+                horizons = [max_rounds] * len(chunk)
+            met, cost = table.evaluate_arrays(chunk, horizons, presence)
+            executions += len(chunk)
+            missed = np.nonzero(met < 0)[0]
+            for position in missed.tolist():
+                failures.append(chunk[position])
+            if missed.size == len(chunk):
+                continue
+            # argmax returns the FIRST maximiser, and failures sit at -1 <
+            # any meeting time (costs are masked to -1), so each chunk's
+            # candidate carries the lowest in-chunk position -- combined with
+            # the strict-> update across chunks this is exactly the serial
+            # first-wins tie-break.
+            position = int(met.argmax())
+            if worst_time is None or met[position] > worst_time[0]:
+                worst_time = (int(met[position]), chunk[position], horizons[position])
+            masked_cost = np.where(met >= 0, cost, -1)
+            position = int(masked_cost.argmax())
+            if worst_cost is None or masked_cost[position] > worst_cost[0]:
+                worst_cost = (
+                    int(masked_cost[position]),
+                    chunk[position],
+                    horizons[position],
+                )
+        if telemetry.enabled:
+            elapsed = time.perf_counter() - started
+            telemetry.gauge(
+                "batch.table_build_seconds", round(table.build_seconds, 6)
             )
+            telemetry.gauge(
+                "batch.scan_seconds",
+                round(max(elapsed - table.build_seconds, 0.0), 6),
+            )
+            telemetry.count("batch.chunks", chunks)
+            telemetry.count("configs.evaluated", executions)
 
     def record(extreme: tuple[int, Configuration, int] | None) -> ExtremeRecord | None:
         if extreme is None:

@@ -31,10 +31,12 @@ rather than re-implemented; only the per-configuration interaction logic
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.graphs.port_graph import PortLabeledGraph
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.actions import WAIT, Action, validate_action
 from repro.sim.adversary import (
     Configuration,
@@ -358,14 +360,21 @@ class TrajectoryTable:
         self.factory = factory
         self._provide = (provide_map, provide_position)
         self._trajectories: dict[tuple[int, int], CompiledTrajectory] = {}
+        #: Cumulative wall-clock seconds spent compiling trajectories --
+        #: the "table build" half of this engine's profile (the rest of a
+        #: sweep is timeline scanning).  Observability data only: nothing
+        #: reads it back into the computation.
+        self.build_seconds = 0.0
 
     def trajectory(self, label: int, start: int) -> CompiledTrajectory:
         key = (label, start)
         compiled = self._trajectories.get(key)
         if compiled is None:
+            started = time.perf_counter()
             compiled = compile_trajectory(
                 self.graph, self.factory, label, start, *self._provide
             )
+            self.build_seconds += time.perf_counter() - started
             self._trajectories[key] = compiled
         return compiled
 
@@ -416,13 +425,15 @@ def compiled_worst_case_search(
     configs: Iterable[Configuration],
     max_rounds: int | Callable[[Configuration], int],
     presence: PresenceModel = PresenceModel.FROM_START,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> WorstCaseReport:
     """The compiled engine behind ``worst_case_search(engine="compiled")``.
 
     Identical update discipline to the reactive loop (strict ``>`` in
     enumeration order, so ties keep the earliest configuration); the full
     results of the two argmax records are reconstructed once at the end,
-    never per configuration.
+    never per configuration.  Telemetry splits the sweep's wall clock
+    into table build (trajectory compilation) versus timeline scan.
     """
     table = TrajectoryTable(graph, factory)
     worst_time: tuple[int, Configuration, int] | None = None
@@ -431,19 +442,32 @@ def compiled_worst_case_search(
     executions = 0
     constant_horizon = None if callable(max_rounds) else max_rounds
 
-    for config in configs:
-        horizon = (
-            constant_horizon if constant_horizon is not None else max_rounds(config)
-        )
-        met_at, cost = table.evaluate(config, horizon, presence)
-        executions += 1
-        if met_at is None:
-            failures.append(config)
-            continue
-        if worst_time is None or met_at > worst_time[0]:
-            worst_time = (met_at, config, horizon)
-        if worst_cost is None or cost > worst_cost[0]:
-            worst_cost = (cost, config, horizon)
+    with telemetry.span("compiled.search"):
+        started = time.perf_counter()
+        for config in configs:
+            horizon = (
+                constant_horizon if constant_horizon is not None else max_rounds(config)
+            )
+            met_at, cost = table.evaluate(config, horizon, presence)
+            executions += 1
+            if met_at is None:
+                failures.append(config)
+                continue
+            if worst_time is None or met_at > worst_time[0]:
+                worst_time = (met_at, config, horizon)
+            if worst_cost is None or cost > worst_cost[0]:
+                worst_cost = (cost, config, horizon)
+        if telemetry.enabled:
+            elapsed = time.perf_counter() - started
+            telemetry.gauge(
+                "compiled.table_build_seconds", round(table.build_seconds, 6)
+            )
+            telemetry.gauge(
+                "compiled.scan_seconds",
+                round(max(elapsed - table.build_seconds, 0.0), 6),
+            )
+            telemetry.gauge("compiled.trajectories", len(table))
+            telemetry.count("configs.evaluated", executions)
 
     def record(extreme: tuple[int, Configuration, int] | None) -> ExtremeRecord | None:
         if extreme is None:

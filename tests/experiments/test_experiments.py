@@ -133,8 +133,11 @@ class TestQuickCampaign:
     def test_serial_and_parallel_campaigns_are_byte_identical(
         self, quick_campaign
     ):
+        # Canonical JSON (the wall-clock `timing` sections are explicitly
+        # non-canonical and stripped) is byte-identical across executors.
         parallel = Campaign(quick=True, workers=2).run()
-        assert parallel.to_json() == quick_campaign.to_json()
+        assert parallel.canonical_json() == quick_campaign.canonical_json()
+        assert parallel.to_json() != parallel.canonical_json()  # timing present
 
 
 class TestCampaignRouting:
@@ -146,7 +149,8 @@ class TestCampaignRouting:
     def test_run_experiment_accepts_id_and_instance(self):
         by_id = run_experiment("memory", quick=True)
         by_instance = run_experiment(EXPERIMENTS.get("memory"), quick=True)
-        assert by_id.to_json() == by_instance.to_json()
+        assert by_id == by_instance  # timing excluded from equality
+        assert by_id.canonical_json() == by_instance.canonical_json()
 
     def test_quick_and_full_profiles_share_verdict_text(self):
         quick = run_experiment("exp06", quick=True)
@@ -161,7 +165,7 @@ class TestCampaignRouting:
     def test_cached_rerun_is_byte_identical(self, tmp_path):
         first = Campaign(["exp03"], quick=True, cache=str(tmp_path)).run()
         second = Campaign(["exp03"], quick=True, cache=str(tmp_path)).run()
-        assert first.to_json() == second.to_json()
+        assert first.canonical_json() == second.canonical_json()
 
 
 def _load_render_tool():

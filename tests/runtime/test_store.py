@@ -2,6 +2,9 @@
 
 import json
 
+import pytest
+
+from repro.obs import MemorySink, Telemetry
 from repro.runtime import (
     AlgorithmSpec,
     GraphSpec,
@@ -84,11 +87,13 @@ class TestResumability:
         lines = path.read_text().splitlines()
         path.write_text("\n".join(lines[:-2]) + "\n" + lines[-2][: len(lines[-2]) // 2])
 
-        loaded = store.load(job)
+        with pytest.warns(RuntimeWarning, match="undecodable"):
+            loaded = store.load(job)
         assert len(loaded) == 4
 
         counting = CountingExecutor()
-        resumed = execute_job(job, executor=counting, store=store, shard_count=6)
+        with pytest.warns(RuntimeWarning, match="undecodable"):
+            resumed = execute_job(job, executor=counting, store=store, shard_count=6)
         assert counting.shards_run == 2
         assert canonical_json(resumed.report.to_dict()) == canonical_json(
             complete.report.to_dict()
@@ -111,7 +116,27 @@ class TestResumability:
         lines = path.read_text().splitlines()
         lines[2] = lines[2][: len(lines[2]) // 2]  # tear one shard record
         path.write_text("\n".join(lines) + "\n")
-        assert len(store.load(job)) == 4
+        with pytest.warns(RuntimeWarning, match="undecodable"):
+            assert len(store.load(job)) == 4
+
+    def test_torn_lines_are_counted_and_named_in_telemetry(self, tmp_path):
+        store = RunStore(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=5)
+        path = store.path_for(job)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]
+        lines[3] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+
+        telemetry = Telemetry(MemorySink())
+        with pytest.warns(RuntimeWarning, match=str(path)):
+            store.load(job, telemetry=telemetry)
+        warning_events = telemetry.sink.of_kind("warning")
+        assert len(warning_events) == 1
+        assert warning_events[0]["attrs"]["file"] == str(path)
+        assert warning_events[0]["attrs"]["lines"] == 2
+        assert telemetry.counters["store.torn_lines"] == 2
 
     def test_load_of_unknown_spec_is_empty(self, tmp_path):
         assert RunStore(tmp_path).load(small_job()) == {}
@@ -137,6 +162,7 @@ def test_version_skew_is_isolated_by_filename(tmp_path):
     """
     import repro
     from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec, RunStore
+    from repro.runtime.store import _FORMAT_VERSION
     from repro.runtime.worker import run_shard
 
     spec = JobSpec(AlgorithmSpec("fast-sim", 3), GraphSpec.make("ring", n=4))
@@ -145,7 +171,7 @@ def test_version_skew_is_isolated_by_filename(tmp_path):
     assert store.load(spec)
 
     path = store.path_for(spec)
-    assert f"-v{repro.__version__}-f1.jsonl" in path.name
+    assert f"-v{repro.__version__}-f{_FORMAT_VERSION}.jsonl" in path.name
     # A file written by other code has another name and is never read.
     other = path.with_name(path.name.replace(repro.__version__, "0.0.0"))
     path.rename(other)

@@ -35,9 +35,11 @@ class TestCommands:
              "--starts", "0", "6", "--delay", "3", "--verbose"]
         )
         assert exit_code == 0
-        output = capsys.readouterr().out
-        assert "met at node" in output
-        assert "agent 2" in output
+        captured = capsys.readouterr()
+        assert "met at node" in captured.out
+        # --verbose narration rides the stderr message channel now.
+        assert "agent 2" in captured.err
+        assert "agent 2" not in captured.out
 
     def test_sweep_command(self, capsys):
         exit_code = main(
@@ -158,3 +160,67 @@ class TestJsonOutput:
         with pytest.raises(SystemExit, match="fixed size"):
             main(["sweep", "--graph", "petersen", "--size", "50",
                   "--algorithm", "fast-sim", "--label-space", "3", "--no-cache"])
+
+
+class TestTelemetryCommands:
+    SWEEP = ["sweep", "--graph", "ring", "--size", "6", "--algorithm",
+             "fast-sim", "--label-space", "4", "--no-cache", "--json"]
+
+    def test_telemetry_flag_is_inert_on_the_canonical_report(
+        self, capsys, tmp_path
+    ):
+        assert main(self.SWEEP) == 0
+        plain = capsys.readouterr().out
+        events = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--telemetry", str(events)]) == 0
+        with_telemetry = capsys.readouterr().out
+        assert with_telemetry == plain
+
+    def test_sweep_event_file_passes_the_schema_check(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--telemetry", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(events), "--check"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_summary_renders_phases_and_shards(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--telemetry", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(events)]) == 0
+        output = capsys.readouterr().out
+        assert "telemetry summary:" in output
+        assert "scenario.run" in output
+        assert "shards:" in output
+
+    def test_summary_json_is_machine_consumable(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(self.SWEEP + ["--telemetry", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "summary", str(events), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["configs.evaluated"] > 0
+        assert payload["phases"]["scenario.run"]["count"] == 1
+
+    def test_check_rejects_a_broken_event_file(self, capsys, tmp_path):
+        events = tmp_path / "bad.jsonl"
+        events.write_text('{"ev": "gauge", "ts": 0.0}\n')
+        assert main(["telemetry", "summary", str(events), "--check"]) == 1
+        assert "invalid:" in capsys.readouterr().err
+
+    def test_strip_removes_timing_sections(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({
+            "verdict": "ok",
+            "timing": {"seconds": 1.5},
+            "units": [{"key": "a", "timing": {"seconds": 0.5}}],
+        }))
+        assert main(["telemetry", "strip", str(report)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"verdict": "ok", "units": [{"key": "a"}]}
+
+    def test_progress_flag_draws_on_stderr(self, capsys):
+        assert main(self.SWEEP[:-1] + ["--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "shards" in captured.err
+        assert "Worst-case sweep" in captured.out

@@ -44,7 +44,7 @@ def check_help() -> None:
     if proc.returncode != 0:
         fail(f"--help exited {proc.returncode}: {proc.stderr}")
     for command in ("run", "sweep", "certify", "explore", "tradeoff",
-                    "experiments"):
+                    "experiments", "telemetry"):
         if command not in proc.stdout:
             fail(f"--help does not mention the {command!r} command")
     print("help: OK")
