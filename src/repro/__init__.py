@@ -65,6 +65,7 @@ from repro.exploration import (
     UXSExploration,
     best_exploration,
 )
+from repro.cluster import ClusterConfig, ClusterError, ClusterExecutor
 from repro.graphs import PortLabeledGraph, oriented_ring
 from repro.obs import (
     JsonlSink,
@@ -100,7 +101,7 @@ from repro.sim import (
     worst_case_search,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -109,6 +110,9 @@ __all__ = [
     "CampaignResult",
     "Cheap",
     "CheapSimultaneous",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterExecutor",
     "EXPERIMENTS",
     "EXPLORATIONS",
     "Experiment",

@@ -1,0 +1,86 @@
+"""Fault-tolerant distributed execution of sweep shards.
+
+The cluster subsystem scales the runtime's sharded sweeps past one
+process pool without giving up the repository's core invariant: the
+merged report of any cluster run -- any worker count, any kill/restart
+schedule -- is byte-identical to the serial enumeration.
+
+It is a filesystem protocol, not a network one.  A *coordinator*
+publishes a sweep's planned shards as files in a shared run directory
+(:mod:`~repro.cluster.queue`); *workers* claim shards with lease files
+(:mod:`~repro.cluster.files`), execute them through the same
+``run_shard`` every other executor uses, and write reports back
+atomically; heartbeat files in the telemetry event schema
+(:mod:`~repro.cluster.heartbeat`) make liveness observable.  Killed
+workers lose only their leases -- which expire and are re-claimed; a
+killed coordinator loses nothing -- a new one adopts the run directory
+via lease takeover (:mod:`~repro.cluster.coordinator`), and re-running a
+campaign resumes through the content-addressed run store exactly as a
+local rerun would.
+
+Entry points: ``Scenario.run(cluster=...)`` / ``Campaign(cluster=...)``
+in-process, ``python -m repro cluster {run,coordinator,worker,status}``
+on the command line.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterConfig,
+    ClusterExecutor,
+    resolve_cluster,
+)
+from repro.cluster.files import (
+    Lease,
+    acquire_lease,
+    read_lease,
+    release_lease,
+    renew_lease,
+)
+from repro.cluster.heartbeat import (
+    HeartbeatFile,
+    NodeStatus,
+    default_node_id,
+    live_nodes,
+    read_heartbeats,
+)
+from repro.cluster.queue import (
+    DEFAULT_CLUSTER_ROOT,
+    ClusterError,
+    ShardQueue,
+    ShardTask,
+)
+from repro.cluster.status import cluster_status, render_status, run_status
+from repro.cluster.worker import (
+    DEFAULT_TTL,
+    FAULT_ENV,
+    FAULT_POINTS,
+    WorkerConfig,
+    work,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterExecutor",
+    "DEFAULT_CLUSTER_ROOT",
+    "DEFAULT_TTL",
+    "FAULT_ENV",
+    "FAULT_POINTS",
+    "HeartbeatFile",
+    "Lease",
+    "NodeStatus",
+    "ShardQueue",
+    "ShardTask",
+    "WorkerConfig",
+    "acquire_lease",
+    "cluster_status",
+    "default_node_id",
+    "live_nodes",
+    "read_heartbeats",
+    "read_lease",
+    "release_lease",
+    "render_status",
+    "renew_lease",
+    "resolve_cluster",
+    "run_status",
+    "work",
+]

@@ -1,0 +1,211 @@
+"""Atomic filesystem primitives the cluster protocol is built from.
+
+Every piece of shared cluster state is a small JSON file in one shared
+directory tree (local disk for multi-process clusters, a shared mount
+for multi-host ones).  Three operations carry the whole protocol:
+
+* :func:`write_json_atomic` -- publish-or-replace via a unique temp file
+  and ``os.replace``, so readers only ever observe complete documents;
+* :func:`try_create_json` -- ``O_CREAT | O_EXCL`` create-if-absent, the
+  one atomic *claim* primitive (task publication, lease acquisition,
+  exactly-once fault markers);
+* :func:`read_json` -- tolerant read that treats a missing or torn file
+  as absent rather than fatal.
+
+Leases layer on top: a lease file names an owner and a wall-clock expiry.
+Owners renew by atomic replace; anyone may *steal* a lease once expired
+(unlink, then retry the exclusive create).  Wall clocks are only assumed
+to agree to within a fraction of the TTL -- pick TTLs an order of
+magnitude above realistic clock skew.
+
+Crucially, correctness never rests on leases being mutually exclusive.
+They only steer workers away from claimed work.  If a stolen lease races
+its slow owner and two workers execute the same shard, both compute the
+same deterministic :class:`~repro.runtime.report.ShardReport` and the
+atomic result write makes the duplicate invisible (shard timing differs,
+but timing is non-canonical by construction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+Clock = Callable[[], float]
+
+_tmp_counter = itertools.count()
+
+
+def write_json_atomic(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` as JSON so readers never see a partial file.
+
+    The temp name embeds the pid and a process-local counter, so
+    concurrent writers (two nodes renewing different leases on a shared
+    mount, say) never collide on the intermediate file either.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def read_json(path: Path) -> "dict[str, Any] | None":
+    """The decoded document, or ``None`` for missing/torn/foreign files.
+
+    A file that exists but does not decode is treated as absent: the only
+    way to produce one is a writer killed between ``O_EXCL`` create and
+    write (atomic replace never tears), and such a writer is dead by
+    definition -- its claim should not wedge the run.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (FileNotFoundError, NotADirectoryError):
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def try_create_json(path: Path, payload: Mapping[str, Any]) -> bool:
+    """Atomically create ``path`` with ``payload``; False if it exists.
+
+    The ``O_CREAT | O_EXCL`` open is the atomic step; exactly one of any
+    number of concurrent callers wins.  (A crash between create and write
+    leaves an undecodable file -- readers treat it as absent, and lease
+    stealing reclaims it.)
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, json.dumps(payload, sort_keys=True).encode("utf-8"))
+    finally:
+        os.close(fd)
+    return True
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claim on a shared resource: who holds it and until when.
+
+    ``acquired``/``expires`` are wall-clock (``time.time``) seconds so
+    the protocol works across hosts sharing a mount; ``renewals`` counts
+    atomic-replace renewals (pure diagnostics).
+    """
+
+    owner: str
+    acquired: float
+    expires: float
+    renewals: int = 0
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires
+
+    def remaining(self, now: float) -> float:
+        return self.expires - now
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "owner": self.owner,
+            "acquired": self.acquired,
+            "expires": self.expires,
+            "renewals": self.renewals,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Lease":
+        return cls(
+            owner=str(payload["owner"]),
+            acquired=float(payload["acquired"]),
+            expires=float(payload["expires"]),
+            renewals=int(payload.get("renewals", 0)),
+        )
+
+
+def read_lease(path: Path) -> "Lease | None":
+    payload = read_json(path)
+    if payload is None:
+        return None
+    try:
+        return Lease.from_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def acquire_lease(
+    path: Path, owner: str, ttl: float, clock: Clock = time.time
+) -> "Lease | None":
+    """Try to claim ``path``; steal it if the current holder expired.
+
+    Returns the held lease, or ``None`` while another owner's unexpired
+    lease stands.  Stealing is unlink-then-retry: between our expiry read
+    and the unlink the owner may renew (or a rival steal first), in which
+    case the retried exclusive create simply loses.  In the worst case
+    two holders briefly coexist -- safe, per the module doc: leases are
+    an efficiency device, not a correctness device.
+    """
+    for _ in range(2):
+        now = clock()
+        lease = Lease(owner=owner, acquired=now, expires=now + ttl)
+        if try_create_json(path, lease.to_dict()):
+            return lease
+        current = read_lease(path)
+        if current is not None and not current.expired(clock()):
+            return None
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+    return None
+
+
+def renew_lease(
+    path: Path, owner: str, ttl: float, clock: Clock = time.time
+) -> "Lease | None":
+    """Extend ``owner``'s lease on ``path``; ``None`` if no longer held.
+
+    A ``None`` return means the lease expired and was stolen (or
+    released): the caller has lost the claim and must stop treating the
+    resource as its own.
+    """
+    current = read_lease(path)
+    if current is None or current.owner != owner:
+        return None
+    renewed = replace(
+        current, expires=clock() + ttl, renewals=current.renewals + 1
+    )
+    write_json_atomic(path, renewed.to_dict())
+    return renewed
+
+
+def release_lease(path: Path, owner: str) -> bool:
+    """Drop ``owner``'s lease on ``path`` (no-op if not held)."""
+    current = read_lease(path)
+    if current is None or current.owner != owner:
+        return False
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+__all__ = [
+    "Lease",
+    "acquire_lease",
+    "read_json",
+    "read_lease",
+    "release_lease",
+    "renew_lease",
+    "try_create_json",
+    "write_json_atomic",
+]

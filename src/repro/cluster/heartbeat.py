@@ -1,0 +1,224 @@
+"""Heartbeat files: per-node liveness streams in the telemetry schema.
+
+Every cluster node (workers and the coordinator alike) appends to its
+own ``heartbeats/<node>.jsonl``, one JSON event per line, valid under
+:func:`repro.obs.events.validate_events`: a ``meta`` header first, then
+flat ``event``/``warning`` records -- never spans, so a stream cut short
+by ``SIGKILL`` is still schema-valid (there is nothing to leave open).
+
+Two clocks appear deliberately.  The schema's ``ts`` is seconds since
+the node started (``time.perf_counter``, monotonic, matching every other
+telemetry stream in the repository); liveness decisions instead use the
+wall-clock ``wall`` attribute stamped on every record, because liveness
+is a *cross-process* question and monotonic clocks do not compare across
+processes.  A node is presumed dead when ``now - last wall`` exceeds the
+lease TTL -- the same tolerance the lease protocol already grants clock
+skew.
+
+Event names (all carrying ``node``/``role``/``wall`` attrs):
+
+* ``node.start`` / ``node.exit`` -- lifecycle brackets
+* ``node.heartbeat`` -- the periodic pulse (``state`` says what the node
+  is doing; ``shard`` the current claim, if any)
+* ``shard.claimed`` / ``shard.done`` -- claim lifecycle markers
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.telemetry import SCHEMA_VERSION
+
+
+def default_node_id(prefix: str = "node") -> str:
+    """A node identity unique across hosts and restarts: host + pid."""
+    host = socket.gethostname().split(".")[0] or "host"
+    return f"{prefix}-{host}-{os.getpid()}"
+
+
+class HeartbeatFile:
+    """One node's append-only telemetry stream (thread-safe).
+
+    The lease-keeper thread beats while the main thread claims and
+    executes, so emission is lock-guarded -- unlike
+    :class:`~repro.obs.telemetry.Telemetry`, which is single-threaded by
+    design and therefore not used directly here.
+    """
+
+    def __init__(self, path: "str | Path", node: str, role: str):
+        self.path = Path(path)
+        self.node = node
+        self.role = role
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._emit({"ev": "meta", "schema": SCHEMA_VERSION,
+                    "library": _library_version()})
+
+    def _emit(self, fields: "dict[str, Any]") -> None:
+        event = {"ev": fields.pop("ev"),
+                 "ts": round(time.perf_counter() - self._epoch, 6)}
+        event.update(fields)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def _attrs(self, extra: "dict[str, Any]") -> "dict[str, Any]":
+        attrs = {"node": self.node, "role": self.role,
+                 "wall": round(time.time(), 3)}
+        attrs.update({k: v for k, v in extra.items() if v is not None})
+        return attrs
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self._emit({"ev": "event", "name": name, "attrs": self._attrs(attrs)})
+
+    def beat(self, state: str, shard: "str | None" = None) -> None:
+        self.event("node.heartbeat", state=state, shard=shard)
+
+    def warn(self, message: str, **attrs: Any) -> None:
+        self._emit({"ev": "warning", "message": message,
+                    "attrs": self._attrs(attrs)})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "HeartbeatFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _library_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class NodeStatus:
+    """What one heartbeat file says about its node."""
+
+    node: str
+    role: str
+    state: str
+    last_wall: float
+    shard: "str | None"
+    events: int
+
+    def age(self, now: "float | None" = None) -> float:
+        """Seconds since the node last wrote anything (wall clock)."""
+        return (now if now is not None else time.time()) - self.last_wall
+
+    def alive(self, ttl: float, now: "float | None" = None) -> bool:
+        return self.age(now) < ttl
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "node": self.node,
+            "role": self.role,
+            "state": self.state,
+            "last_wall": self.last_wall,
+            "shard": self.shard,
+            "events": self.events,
+        }
+
+
+def _iter_events(path: Path) -> Iterator["dict[str, Any]"]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line of a killed node
+                if isinstance(event, dict):
+                    yield event
+    except (FileNotFoundError, NotADirectoryError):
+        return
+
+
+def read_node_status(path: "str | Path") -> "NodeStatus | None":
+    """Fold one heartbeat file into its node's latest state."""
+    path = Path(path)
+    node = path.stem
+    role = "worker"
+    state = "unknown"
+    shard: "str | None" = None
+    last_wall = 0.0
+    count = 0
+    for event in _iter_events(path):
+        count += 1
+        attrs = event.get("attrs")
+        if not isinstance(attrs, dict):
+            continue
+        wall = attrs.get("wall")
+        if isinstance(wall, (int, float)):
+            last_wall = max(last_wall, float(wall))
+        node = str(attrs.get("node", node))
+        role = str(attrs.get("role", role))
+        name = event.get("name")
+        if name == "node.exit":
+            state, shard = "exited", None
+        elif name in ("node.start", "node.heartbeat"):
+            state = str(attrs.get("state", "running"))
+            shard = attrs.get("shard")
+        elif name == "shard.claimed":
+            state, shard = "executing", attrs.get("shard")
+        elif name == "shard.done":
+            state, shard = "idle", None
+    if count == 0:
+        return None
+    return NodeStatus(node=node, role=role, state=state,
+                      last_wall=last_wall, shard=shard, events=count)
+
+
+def read_heartbeats(heartbeats_dir: "str | Path") -> "list[NodeStatus]":
+    """Latest state of every node that ever heartbeat under a run."""
+    directory = Path(heartbeats_dir)
+    try:
+        paths = sorted(directory.glob("*.jsonl"))
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    statuses = []
+    for path in paths:
+        status = read_node_status(path)
+        if status is not None:
+            statuses.append(status)
+    return statuses
+
+
+def live_nodes(
+    heartbeats_dir: "str | Path", ttl: float, now: "float | None" = None
+) -> "list[NodeStatus]":
+    """Nodes whose last write is fresher than ``ttl`` and not an exit."""
+    return [
+        status
+        for status in read_heartbeats(heartbeats_dir)
+        if status.state != "exited" and status.alive(ttl, now)
+    ]
+
+
+__all__ = [
+    "HeartbeatFile",
+    "NodeStatus",
+    "default_node_id",
+    "live_nodes",
+    "read_heartbeats",
+    "read_node_status",
+]

@@ -1,0 +1,317 @@
+"""The filesystem work queue one cluster run lives in.
+
+Layout of ``<root>/<run-id>/`` (``root`` defaults to
+``.repro_cache/cluster``):
+
+========================  ==============================================
+``job.json``              the sweep :class:`~repro.runtime.spec.JobSpec`
+                          (by value) plus the shard plan parameters
+``tasks/<lo>-<hi>.json``  one file per planned shard, created
+                          ``O_EXCL`` (publication is idempotent and
+                          append-only)
+``leases/<lo>-<hi>.json`` the worker currently claiming that shard
+``results/<lo>-<hi>.json``the shard's :class:`ShardReport`, written
+                          atomically -- existence == completion
+``heartbeats/<node>.jsonl``  one telemetry event stream per node
+``coordinator.lease``     the coordinator's own lease (takeover target)
+``report.json``           the merged run report (written by the CLI)
+========================  ==============================================
+
+A shard's identity is its ``[lo, hi)`` bounds, zero-padded in filenames
+so lexicographic directory order equals numeric order.  The queue never
+deletes a task or a result; recovery of any crash is therefore a pure
+re-scan.  Claims are leases (see :mod:`repro.cluster.files`): expired
+ones are reaped by the coordinator or stolen directly by workers, and a
+result file always wins over any lease state.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.cluster.files import (
+    Clock,
+    Lease,
+    acquire_lease,
+    read_json,
+    read_lease,
+    release_lease,
+    renew_lease,
+    try_create_json,
+    write_json_atomic,
+)
+from repro.runtime.report import ShardReport
+from repro.runtime.spec import JobSpec
+from repro.runtime.store import DEFAULT_CACHE_DIR
+
+#: Where cluster run directories live by default.
+DEFAULT_CLUSTER_ROOT = str(Path(DEFAULT_CACHE_DIR) / "cluster")
+
+#: Bumped when the run-directory layout changes shape; a mismatch means
+#: the directory was written by an incompatible library version.
+QUEUE_FORMAT_VERSION = 1
+
+_IDENT = re.compile(r"^(\d+)-(\d+)\.json$")
+
+
+class ClusterError(RuntimeError):
+    """A cluster protocol violation or an unrecoverable run state."""
+
+
+@dataclass(frozen=True, order=True)
+class ShardTask:
+    """One planned shard, identified by its ``[lo, hi)`` bounds."""
+
+    lo: int
+    hi: int
+
+    @property
+    def ident(self) -> str:
+        # Zero-padded so filename order is numeric order in listings.
+        return f"{self.lo:010d}-{self.hi:010d}"
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+class ShardQueue:
+    """All state of one cluster run, addressed through its directory."""
+
+    def __init__(self, run_dir: "str | Path", clock: Clock = time.time):
+        self.run_dir = Path(run_dir)
+        self.clock = clock
+        self.job_path = self.run_dir / "job.json"
+        self.tasks_dir = self.run_dir / "tasks"
+        self.leases_dir = self.run_dir / "leases"
+        self.results_dir = self.run_dir / "results"
+        self.heartbeats_dir = self.run_dir / "heartbeats"
+        self.faults_dir = self.run_dir / "faults"
+        self.coordinator_lease_path = self.run_dir / "coordinator.lease"
+        self.report_path = self.run_dir / "report.json"
+
+    # ------------------------------------------------------------------
+    # Publication (coordinator side)
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        spec: JobSpec,
+        bounds: "list[tuple[int, int]]",
+        shard_count: "int | None" = None,
+        shard_size: "int | None" = None,
+        graph_name: "str | None" = None,
+    ) -> int:
+        """Install the job spec and task files; returns how many are new.
+
+        Idempotent: re-publishing the same sweep (a restarted or adopting
+        coordinator) verifies the spec and re-creates only missing task
+        files.  Publishing a *different* sweep into an existing run
+        directory raises -- one run directory is one sweep.
+        """
+        spec = spec.sweep_spec()
+        existing = self.load_job()
+        if existing is None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            write_json_atomic(
+                self.job_path,
+                {
+                    "version": QUEUE_FORMAT_VERSION,
+                    "spec": spec.to_dict(),
+                    "sweep_key": spec.key(),
+                    "shard_count": shard_count,
+                    "shard_size": shard_size,
+                    # Display-name hint (run_job's graph_name) so an
+                    # adopting coordinator reproduces the row verbatim.
+                    "graph_name": graph_name,
+                },
+            )
+        elif existing.get("sweep_key") != spec.key():
+            raise ClusterError(
+                f"run directory {self.run_dir} already holds sweep "
+                f"{existing.get('sweep_key', '?')[:12]}, refusing to publish "
+                f"sweep {spec.key()[:12]}; use a fresh --run-id per sweep"
+            )
+        for directory in (
+            self.tasks_dir,
+            self.leases_dir,
+            self.results_dir,
+            self.heartbeats_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        created = 0
+        for lo, hi in bounds:
+            task = ShardTask(int(lo), int(hi))
+            if try_create_json(
+                self.tasks_dir / f"{task.ident}.json",
+                {"lo": task.lo, "hi": task.hi},
+            ):
+                created += 1
+        return created
+
+    def load_job(self) -> "dict[str, Any] | None":
+        payload = read_json(self.job_path)
+        if payload is None:
+            return None
+        version = payload.get("version")
+        if version != QUEUE_FORMAT_VERSION:
+            raise ClusterError(
+                f"{self.job_path} has layout version {version!r}; this "
+                f"library speaks version {QUEUE_FORMAT_VERSION}"
+            )
+        return payload
+
+    def load_spec(self) -> JobSpec:
+        """The published sweep spec (raises until ``publish`` has run)."""
+        payload = self.load_job()
+        if payload is None:
+            raise ClusterError(
+                f"no job published under {self.run_dir} (missing job.json)"
+            )
+        return JobSpec.from_dict(payload["spec"])
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def _scan(self, directory: Path) -> Iterator[ShardTask]:
+        try:
+            names = sorted(entry.name for entry in directory.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
+            return
+        for name in names:
+            match = _IDENT.match(name)
+            if match is not None:
+                yield ShardTask(int(match.group(1)), int(match.group(2)))
+
+    def tasks(self) -> "list[ShardTask]":
+        return list(self._scan(self.tasks_dir))
+
+    def result(self, task: ShardTask) -> "ShardReport | None":
+        payload = read_json(self.results_dir / f"{task.ident}.json")
+        if payload is None:
+            return None
+        return ShardReport.from_dict(payload)
+
+    def has_result(self, task: ShardTask) -> bool:
+        return (self.results_dir / f"{task.ident}.json").exists()
+
+    def results(self) -> "dict[tuple[int, int], ShardReport]":
+        found = {}
+        for task in self._scan(self.results_dir):
+            report = self.result(task)
+            if report is not None:
+                found[task.bounds] = report
+        return found
+
+    def finished(self) -> bool:
+        tasks = self.tasks()
+        return bool(tasks) and all(self.has_result(task) for task in tasks)
+
+    def lease_of(self, task: ShardTask) -> "Lease | None":
+        return read_lease(self.leases_dir / f"{task.ident}.json")
+
+    # ------------------------------------------------------------------
+    # Claiming (worker side)
+    # ------------------------------------------------------------------
+
+    def claim(
+        self, owner: str, ttl: float
+    ) -> "tuple[ShardTask, Lease] | None":
+        """Claim the lowest available shard, stealing expired leases.
+
+        Returns ``None`` when nothing is claimable right now -- every
+        remaining shard is done or validly leased by someone else.
+        """
+        for task in self.tasks():
+            if self.has_result(task):
+                continue
+            lease = acquire_lease(
+                self.leases_dir / f"{task.ident}.json", owner, ttl, self.clock
+            )
+            if lease is not None:
+                return task, lease
+        return None
+
+    def renew(self, task: ShardTask, owner: str, ttl: float) -> "Lease | None":
+        return renew_lease(
+            self.leases_dir / f"{task.ident}.json", owner, ttl, self.clock
+        )
+
+    def complete(
+        self, task: ShardTask, report: ShardReport, owner: "str | None" = None
+    ) -> None:
+        """Publish a shard's report atomically and drop its lease.
+
+        Safe under duplicate execution: both writers replace the result
+        file with byte-identical canonical content (timing aside, and
+        timing is non-canonical).
+        """
+        write_json_atomic(self.results_dir / f"{task.ident}.json", report.to_dict())
+        if owner is not None:
+            release_lease(self.leases_dir / f"{task.ident}.json", owner)
+
+    # ------------------------------------------------------------------
+    # Failure detection (coordinator side)
+    # ------------------------------------------------------------------
+
+    def reap_expired(self) -> "list[tuple[ShardTask, Lease]]":
+        """Unlink expired shard leases so survivors re-claim immediately.
+
+        Purely an acceleration -- workers steal expired leases on their
+        own -- but reaping centrally gives the coordinator the requeue
+        events the status/telemetry surfaces report.
+        """
+        reaped = []
+        now = self.clock()
+        for task in self._scan(self.leases_dir):
+            if self.has_result(task):
+                continue
+            path = self.leases_dir / f"{task.ident}.json"
+            lease = read_lease(path)
+            if lease is None or lease.expired(now):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                if lease is not None:
+                    reaped.append((task, lease))
+        return reaped
+
+    def counts(self) -> "dict[str, int]":
+        """Task accounting for status surfaces: total/done/leased/pending."""
+        tasks = self.tasks()
+        done = sum(1 for task in tasks if self.has_result(task))
+        now = self.clock()
+        leased = 0
+        for task in tasks:
+            if self.has_result(task):
+                continue
+            lease = self.lease_of(task)
+            if lease is not None and not lease.expired(now):
+                leased += 1
+        return {
+            "total": len(tasks),
+            "done": done,
+            "leased": leased,
+            "pending": len(tasks) - done - leased,
+        }
+
+    def __repr__(self) -> str:
+        return f"ShardQueue({str(self.run_dir)!r})"
+
+
+__all__ = [
+    "ClusterError",
+    "DEFAULT_CLUSTER_ROOT",
+    "QUEUE_FORMAT_VERSION",
+    "ShardQueue",
+    "ShardTask",
+]

@@ -1,0 +1,110 @@
+"""Run-directory inspection for ``python -m repro cluster status``.
+
+Pure readers over the queue/lease/heartbeat files -- safe to run against
+a live cluster from any host that sees the shared directory.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.files import read_lease
+from repro.cluster.heartbeat import read_heartbeats
+from repro.cluster.queue import DEFAULT_CLUSTER_ROOT, ShardQueue
+
+
+def run_status(run_dir: "str | Path", now: "float | None" = None) -> "dict[str, Any]":
+    """Everything one run directory says about its run."""
+    now = now if now is not None else time.time()
+    queue = ShardQueue(run_dir)
+    job = queue.load_job()
+    payload: "dict[str, Any]" = {
+        "run_id": Path(run_dir).name,
+        "run_dir": str(run_dir),
+        "published": job is not None,
+        "tasks": queue.counts(),
+        "report": queue.report_path.exists(),
+    }
+    if job is not None:
+        spec = job.get("spec", {})
+        payload["sweep_key"] = job.get("sweep_key")
+        payload["algorithm"] = spec.get("algorithm", {}).get("name")
+        payload["graph"] = spec.get("graph", {}).get("family")
+    coordinator = read_lease(queue.coordinator_lease_path)
+    payload["coordinator"] = (
+        None
+        if coordinator is None
+        else {
+            "owner": coordinator.owner,
+            "live": not coordinator.expired(now),
+            "expires_in": round(coordinator.remaining(now), 3),
+            "renewals": coordinator.renewals,
+        }
+    )
+    payload["nodes"] = [
+        {**status.to_dict(), "age": round(status.age(now), 3)}
+        for status in read_heartbeats(queue.heartbeats_dir)
+    ]
+    return payload
+
+
+def cluster_status(
+    root: "str | Path | None" = None, run_id: "str | None" = None
+) -> "dict[str, Any]":
+    """Status of one run (``run_id`` given) or every run under ``root``."""
+    root = Path(root if root is not None else DEFAULT_CLUSTER_ROOT)
+    if run_id is not None:
+        return {"root": str(root), "runs": [run_status(root / run_id)]}
+    runs = []
+    if root.is_dir():
+        for entry in sorted(root.iterdir()):
+            if entry.is_dir():
+                runs.append(run_status(entry))
+    return {"root": str(root), "runs": runs}
+
+
+def render_status(payload: "dict[str, Any]") -> "list[str]":
+    """Human-readable lines for :func:`cluster_status` output."""
+    lines = [f"cluster root: {payload['root']}"]
+    runs = payload["runs"]
+    if not runs:
+        lines.append("  no runs")
+        return lines
+    for run in runs:
+        tasks = run["tasks"]
+        head = (
+            f"  run {run['run_id']}: {tasks['done']}/{tasks['total']} shards done"
+            f", {tasks['leased']} leased, {tasks['pending']} pending"
+        )
+        if not run["published"]:
+            head = f"  run {run['run_id']}: not published"
+        lines.append(head)
+        if run.get("algorithm") is not None:
+            lines.append(
+                f"    sweep: {run['algorithm']} on {run.get('graph')} "
+                f"({str(run.get('sweep_key', ''))[:12]})"
+            )
+        coordinator = run["coordinator"]
+        if coordinator is None:
+            lines.append("    coordinator: none")
+        else:
+            state = (
+                f"live, lease expires in {coordinator['expires_in']:.1f}s"
+                if coordinator["live"]
+                else f"lease EXPIRED {-coordinator['expires_in']:.1f}s ago"
+            )
+            lines.append(f"    coordinator: {coordinator['owner']} ({state})")
+        for node in run["nodes"]:
+            shard = f", shard {node['shard']}" if node.get("shard") else ""
+            lines.append(
+                f"    {node['role']} {node['node']}: {node['state']}"
+                f"{shard} (last seen {node['age']:.1f}s ago)"
+            )
+        if run["report"]:
+            lines.append(f"    report: {run['run_dir']}/report.json")
+    return lines
+
+
+__all__ = ["cluster_status", "render_status", "run_status"]

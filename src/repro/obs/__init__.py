@@ -9,9 +9,12 @@ the front end, :mod:`repro.obs.sinks` for where events go, and
 """
 
 from repro.obs.events import (
+    CLUSTER_EVENTS,
     EVENT_KINDS,
+    PROVENANCE_KEYS,
     read_events,
     render_summary,
+    strip_provenance,
     strip_timing,
     summarize,
     validate_event,
@@ -35,8 +38,10 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "CLUSTER_EVENTS",
     "EVENT_KINDS",
     "JsonlSink",
+    "PROVENANCE_KEYS",
     "MemorySink",
     "MultiSink",
     "NULL_TELEMETRY",
@@ -50,6 +55,7 @@ __all__ = [
     "read_events",
     "render_summary",
     "resolve_telemetry",
+    "strip_provenance",
     "strip_timing",
     "summarize",
     "validate_event",

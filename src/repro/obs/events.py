@@ -59,6 +59,16 @@ _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
 
 EVENT_KINDS = tuple(_REQUIRED)
 
+#: Cluster lifecycle event names (kind ``event``), as emitted by
+#: :mod:`repro.cluster` through scenario telemetry and per-node
+#: heartbeat files: run publication, lease requeues after worker death,
+#: and coordinator takeover of an orphaned run.
+CLUSTER_EVENTS = (
+    "cluster.published",
+    "shard.requeued",
+    "coordinator.takeover",
+)
+
 
 def validate_event(event: Any, position: int = 0) -> list[str]:
     """Schema errors of one event (empty when valid)."""
@@ -160,6 +170,7 @@ def summarize(events: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
     counters: dict[str, float] = {}
     gauges: dict[str, Any] = {}
     shards: list[dict[str, Any]] = []
+    cluster: list[dict[str, Any]] = []
     warnings: list[str] = []
     meta: dict[str, Any] = {}
     duration = 0.0
@@ -185,11 +196,16 @@ def summarize(events: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
             attrs = dict(event.get("attrs", {}))
             attrs["cached"] = event["name"] == "shard.cached"
             shards.append(attrs)
+        elif kind == "event" and event.get("name") in CLUSTER_EVENTS:
+            attrs = dict(event.get("attrs", {}))
+            entry = {"event": event["name"]}
+            entry.update(attrs)
+            cluster.append(entry)
         elif kind == "close":
             duration = max(duration, float(event.get("seconds", 0.0)))
             for name, value in event.get("counters", {}).items():
                 counters.setdefault(name, value)
-    return {
+    summary = {
         "meta": meta,
         "duration": round(duration, 6),
         "events": len(events),
@@ -199,6 +215,11 @@ def summarize(events: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         "shards": shards,
         "warnings": warnings,
     }
+    if cluster:
+        # Only present when cluster events occurred, so summaries of
+        # non-cluster streams keep their pre-cluster shape.
+        summary["cluster"] = cluster
+    return summary
 
 
 def render_summary(summary: Mapping[str, Any]) -> list[str]:
@@ -239,6 +260,28 @@ def render_summary(summary: Mapping[str, Any]) -> list[str]:
                 f"{shard.get('seconds', 0.0):>8.3f}s  "
                 f"engine={shard.get('engine', '?')}"
             )
+    cluster = summary.get("cluster") or []
+    if cluster:
+        requeued = sum(1 for e in cluster if e.get("event") == "shard.requeued")
+        takeovers = sum(
+            1 for e in cluster if e.get("event") == "coordinator.takeover"
+        )
+        published = [e for e in cluster if e.get("event") == "cluster.published"]
+        lines.append(
+            f"cluster: {len(published)} runs published, "
+            f"{requeued} shards requeued, {takeovers} takeovers"
+        )
+        for entry in cluster:
+            if entry.get("event") == "shard.requeued":
+                lines.append(
+                    f"  requeued [{entry.get('lo', '?')}, {entry.get('hi', '?')})"
+                    f" from {entry.get('owner', '?')}"
+                )
+            elif entry.get("event") == "coordinator.takeover":
+                lines.append(
+                    f"  takeover of run {entry.get('run_id', '?')} "
+                    f"from {entry.get('previous', '?')}"
+                )
     for warning in summary.get("warnings") or []:
         lines.append(f"warning: {warning}")
     return lines
@@ -249,6 +292,23 @@ def render_summary(summary: Mapping[str, Any]) -> list[str]:
 # ----------------------------------------------------------------------
 
 
+def _strip_keys(payload: Any, keys: "frozenset[str]") -> Any:
+    if isinstance(payload, Mapping):
+        return {
+            key: _strip_keys(value, keys)
+            for key, value in payload.items()
+            if key not in keys
+        }
+    if isinstance(payload, (list, tuple)):
+        return [_strip_keys(item, keys) for item in payload]
+    return payload
+
+
+#: Every non-canonical provenance section a report may carry: worker
+#: timing, run-store statistics, and cluster run identifiers.
+PROVENANCE_KEYS = frozenset({"timing", "runtime", "cluster"})
+
+
 def strip_timing(payload: Any) -> Any:
     """A deep copy of ``payload`` with every ``"timing"`` key removed.
 
@@ -257,21 +317,28 @@ def strip_timing(payload: Any) -> Any:
     byte-identity comparisons all strip through here (and through
     ``python -m repro telemetry strip``).
     """
-    if isinstance(payload, Mapping):
-        return {
-            key: strip_timing(value)
-            for key, value in payload.items()
-            if key != "timing"
-        }
-    if isinstance(payload, (list, tuple)):
-        return [strip_timing(item) for item in payload]
-    return payload
+    return _strip_keys(payload, frozenset({"timing"}))
+
+
+def strip_provenance(payload: Any) -> Any:
+    """Strip every non-canonical section: :data:`PROVENANCE_KEYS`.
+
+    The wider sibling of :func:`strip_timing` for outputs that carry
+    run provenance beyond timing -- ``runtime`` (cache-hit statistics,
+    which legitimately differ between reruns) and ``cluster`` (run ids
+    and directories).  ``python -m repro telemetry strip --provenance``
+    and the CI cluster-vs-serial ``cmp`` use this.
+    """
+    return _strip_keys(payload, PROVENANCE_KEYS)
 
 
 __all__ = [
+    "CLUSTER_EVENTS",
     "EVENT_KINDS",
+    "PROVENANCE_KEYS",
     "read_events",
     "render_summary",
+    "strip_provenance",
     "strip_timing",
     "summarize",
     "validate_event",

@@ -28,6 +28,7 @@ from repro.runtime.executor import (
     DEFAULT_SHARD_COUNT,
     ParallelExecutor,
     SerialExecutor,
+    ShardExecutionError,
     make_executor,
     plan_shards,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "RunStats",
     "RunStore",
     "SerialExecutor",
+    "ShardExecutionError",
     "ShardReport",
     "canonical_json",
     "execute_job",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Iterator, Protocol, Sequence
 
 from repro.runtime.report import ShardReport
@@ -24,6 +25,28 @@ from repro.runtime.worker import run_shard
 DEFAULT_SHARD_COUNT = 16
 
 
+class ShardExecutionError(RuntimeError):
+    """A worker process died while executing one shard.
+
+    Wraps the pool's bare ``BrokenProcessPool`` with what the caller
+    actually needs: *which* shard was in flight, and that completed
+    shards are already persisted -- a cached rerun resumes from them
+    rather than starting over.
+    """
+
+    def __init__(self, spec: JobSpec, index: int, total: int):
+        self.shard = spec.shard
+        self.index = index
+        bounds = f"[{spec.shard[0]}, {spec.shard[1]})" if spec.shard else "?"
+        super().__init__(
+            f"worker process died executing shard {index + 1}/{total} "
+            f"(configurations {bounds}); completed shards are kept by the "
+            f"run store -- rerun with caching enabled (the default --cache) "
+            f"to resume, or use `python -m repro cluster run` for "
+            f"fault-tolerant execution"
+        )
+
+
 def plan_shards(
     total: int,
     shard_count: int | None = None,
@@ -32,11 +55,16 @@ def plan_shards(
     """Split ``[0, total)`` into contiguous shard bounds.
 
     With ``shard_size`` set, chunks of that size are cut; otherwise the
-    space is split into ``shard_count`` (default 16) near-equal parts,
-    never producing an empty shard.
+    space is split into ``shard_count`` (default 16) near-equal parts.
+    Either way no shard is ever empty: ``shard_count`` larger than the
+    space clamps to one configuration per shard rather than planning
+    zero-width ``[lo, lo)`` shards (which would poison the run store
+    with keys no execution ever fills).
     """
     if total < 0:
         raise ValueError(f"configuration-space size must be >= 0, got {total}")
+    if shard_count is not None and shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
     if total == 0:
         return []
     if shard_size is not None:
@@ -44,8 +72,6 @@ def plan_shards(
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         return [(lo, min(lo + shard_size, total)) for lo in range(0, total, shard_size)]
     count = min(total, shard_count if shard_count is not None else DEFAULT_SHARD_COUNT)
-    if count < 1:
-        raise ValueError(f"shard_count must be >= 1, got {count}")
     base, extra = divmod(total, count)
     bounds = []
     lo = 0
@@ -117,12 +143,24 @@ class ParallelExecutor:
             yield from SerialExecutor().map_shards(specs)
             return
         pool = self._get_pool()
-        pending = {pool.submit(run_shard, spec) for spec in specs}
+        submitted = {pool.submit(run_shard, spec): (index, spec)
+                     for index, spec in enumerate(specs)}
+        pending = set(submitted)
         try:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield future.result()
+                    try:
+                        yield future.result()
+                    except BrokenProcessPool:
+                        # A dead pool poisons this executor: drop it so a
+                        # caller that catches the error and retries gets
+                        # a fresh pool instead of the same broken one.
+                        self.close()
+                        index, spec = submitted[future]
+                        raise ShardExecutionError(
+                            spec, index, len(specs)
+                        ) from None
         finally:
             # An abandoned iteration (break / exception / GeneratorExit)
             # must not leave queued shards burning CPU in the background.

@@ -1,0 +1,119 @@
+"""The ``python -m repro cluster`` command family."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def cluster_run_args(tmp_path, *extra):
+    return [
+        "cluster", "run",
+        "--graph", "ring", "--size", "6",
+        "--algorithm", "fast-sim", "--label-space", "4",
+        "--delays", "0", "1",
+        "--shards", "4",
+        "--cluster-workers", "1",
+        "--root", str(tmp_path),
+        "--ttl", "5", "--poll", "0.05",
+        "--stall-timeout", "120",
+        "--no-cache",
+        *extra,
+    ]
+
+
+class TestClusterRun:
+    def test_run_matches_the_plain_sweep(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--algorithm", "fast-sim", "--size", "6",
+             "--label-space", "4", "--delays", "0", "1", "--no-cache",
+             "--json"]
+        ) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(cluster_run_args(tmp_path, "--json")) == 0
+        clustered = json.loads(capsys.readouterr().out)
+        assert clustered["result"] == serial["result"]
+        assert clustered["scenario"] == serial["scenario"]
+        assert clustered["cluster"]["run_dir"].startswith(str(tmp_path))
+
+    def test_run_writes_a_provenance_free_report_file(self, capsys, tmp_path):
+        assert main(cluster_run_args(tmp_path, "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report_path = f"{payload['cluster']['run_dir']}/report.json"
+        report = json.loads(open(report_path, encoding="utf-8").read())
+        assert "runtime" not in report
+        assert "cluster" not in report
+        assert report["result"] == payload["result"]
+
+    def test_text_output_names_the_run(self, capsys, tmp_path):
+        assert main(cluster_run_args(tmp_path)) == 0
+        output = capsys.readouterr().out
+        assert "cluster sweep:" in output
+        assert str(tmp_path) in output
+
+    def test_shards_flag_conflicts_are_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(cluster_run_args(tmp_path, "--cache-dir", "x"))
+
+
+class TestClusterStatus:
+    def test_empty_root(self, capsys, tmp_path):
+        assert main(["cluster", "status", "--root", str(tmp_path)]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_status_after_a_run(self, capsys, tmp_path):
+        assert main(cluster_run_args(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["cluster", "status", "--root", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "4/4 shards done" in output
+        assert "fast-sim on ring" in output
+        assert "report:" in output
+
+    def test_json_status_shape(self, capsys, tmp_path):
+        assert main(cluster_run_args(tmp_path, "--json")) == 0
+        run_id = json.loads(capsys.readouterr().out)["cluster"]["run_id"]
+        assert main(
+            ["cluster", "status", "--root", str(tmp_path), "--run-id",
+             run_id, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        (run,) = payload["runs"]
+        assert run["run_id"] == run_id
+        assert run["tasks"] == {
+            "total": 4, "done": 4, "leased": 0, "pending": 0
+        }
+        assert run["report"] is True
+        roles = {node["role"] for node in run["nodes"]}
+        assert roles == {"worker", "coordinator"}
+
+
+class TestClusterWorkerAndCoordinator:
+    def test_worker_times_out_without_a_job(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "worker", "--run-id", "ghost",
+                 "--root", str(tmp_path), "--startup-timeout", "0.2",
+                 "--poll", "0.05"]
+            )
+
+    def test_coordinator_refuses_an_unpublished_run(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "coordinator", "--run-id", "ghost",
+                 "--root", str(tmp_path), "--no-cache"]
+            )
+
+    def test_coordinator_adopts_a_finished_run(self, capsys, tmp_path):
+        assert main(cluster_run_args(tmp_path, "--json")) == 0
+        first = json.loads(capsys.readouterr().out)
+        run_id = first["cluster"]["run_id"]
+        assert main(
+            ["cluster", "coordinator", "--run-id", run_id,
+             "--root", str(tmp_path), "--cluster-workers", "0",
+             "--ttl", "5", "--no-cache", "--json"]
+        ) == 0
+        adopted = json.loads(capsys.readouterr().out)
+        assert adopted["result"] == first["result"]

@@ -1,0 +1,115 @@
+"""Atomic file primitives and the lease protocol, under a fake clock."""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    acquire_lease,
+    read_lease,
+    release_lease,
+    renew_lease,
+)
+from repro.cluster.files import read_json, try_create_json, write_json_atomic
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestAtomicFiles:
+    def test_write_then_read_round_trips(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"a": 1, "b": [2, 3]})
+        assert read_json(path) == {"a": 1, "b": [2, 3]}
+
+    def test_write_replaces_and_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert read_json(path) == {"v": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_read_missing_torn_and_foreign_are_absent(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"half": ', encoding="utf-8")
+        assert read_json(torn) is None
+        foreign = tmp_path / "list.json"
+        foreign.write_text("[1, 2]", encoding="utf-8")
+        assert read_json(foreign) is None
+
+    def test_try_create_is_exclusive(self, tmp_path):
+        path = tmp_path / "claim.json"
+        assert try_create_json(path, {"owner": "a"}) is True
+        assert try_create_json(path, {"owner": "b"}) is False
+        assert read_json(path) == {"owner": "a"}
+
+
+class TestLeases:
+    def test_acquire_renew_release_cycle(self, tmp_path, clock):
+        path = tmp_path / "shard.lease"
+        lease = acquire_lease(path, "w1", ttl=10.0, clock=clock)
+        assert lease is not None and lease.owner == "w1"
+        assert lease.expires == clock.now + 10.0
+        clock.advance(5.0)
+        renewed = renew_lease(path, "w1", ttl=10.0, clock=clock)
+        assert renewed is not None
+        assert renewed.expires == clock.now + 10.0
+        assert renewed.renewals == 1
+        assert release_lease(path, "w1") is True
+        assert read_lease(path) is None
+
+    def test_live_lease_blocks_rivals(self, tmp_path, clock):
+        path = tmp_path / "shard.lease"
+        assert acquire_lease(path, "w1", ttl=10.0, clock=clock) is not None
+        clock.advance(9.9)
+        assert acquire_lease(path, "w2", ttl=10.0, clock=clock) is None
+        assert read_lease(path).owner == "w1"
+
+    def test_expired_lease_is_stolen(self, tmp_path, clock):
+        path = tmp_path / "shard.lease"
+        acquire_lease(path, "w1", ttl=10.0, clock=clock)
+        clock.advance(10.0)  # expiry is inclusive: now >= expires
+        stolen = acquire_lease(path, "w2", ttl=10.0, clock=clock)
+        assert stolen is not None and stolen.owner == "w2"
+
+    def test_stale_owner_cannot_renew_after_steal(self, tmp_path, clock):
+        path = tmp_path / "shard.lease"
+        acquire_lease(path, "w1", ttl=10.0, clock=clock)
+        clock.advance(11.0)
+        acquire_lease(path, "w2", ttl=10.0, clock=clock)
+        assert renew_lease(path, "w1", ttl=10.0, clock=clock) is None
+        assert release_lease(path, "w1") is False
+        assert read_lease(path).owner == "w2"
+
+    def test_undecodable_lease_is_reclaimed(self, tmp_path, clock):
+        # A writer killed between O_EXCL create and write leaves an empty
+        # file; it must not wedge the shard forever.
+        path = tmp_path / "shard.lease"
+        path.write_text("", encoding="utf-8")
+        lease = acquire_lease(path, "w1", ttl=10.0, clock=clock)
+        assert lease is not None and lease.owner == "w1"
+
+    def test_lease_round_trips_through_json(self, tmp_path, clock):
+        path = tmp_path / "shard.lease"
+        acquire_lease(path, "w1", ttl=10.0, clock=clock)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload == {
+            "owner": "w1",
+            "acquired": clock.now,
+            "expires": clock.now + 10.0,
+            "renewals": 0,
+        }

@@ -1,0 +1,126 @@
+"""Heartbeat streams: schema validity, folding, and liveness."""
+
+import json
+import time
+
+from repro.cluster import (
+    HeartbeatFile,
+    default_node_id,
+    live_nodes,
+    read_heartbeats,
+)
+from repro.cluster.heartbeat import read_node_status
+from repro.obs import validate_events
+
+
+def events_of(path):
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line
+    ]
+
+
+class TestHeartbeatFile:
+    def test_stream_is_schema_valid(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        with HeartbeatFile(path, "w1", "worker") as hb:
+            hb.event("node.start")
+            hb.beat("waiting")
+            hb.event("shard.claimed", shard="0000000000-0000000015")
+            hb.warn("lost lease on shard [0, 15)", shard="0000000000-0000000015")
+            hb.event("node.exit", executed=1)
+        assert validate_events(events_of(path)) == []
+
+    def test_stream_cut_short_is_still_schema_valid(self, tmp_path):
+        # SIGKILL leaves no unclosed spans because there are no spans.
+        path = tmp_path / "w1.jsonl"
+        hb = HeartbeatFile(path, "w1", "worker")
+        hb.event("node.start")
+        hb.event("shard.claimed", shard="0000000000-0000000015")
+        # no close, no exit -- the process just vanished
+        assert validate_events(events_of(path)) == []
+
+    def test_every_record_carries_node_role_wall(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        with HeartbeatFile(path, "w1", "worker") as hb:
+            hb.beat("waiting")
+            hb.warn("something")
+        for event in events_of(path):
+            if event["ev"] == "meta":
+                continue
+            assert event["attrs"]["node"] == "w1"
+            assert event["attrs"]["role"] == "worker"
+            assert isinstance(event["attrs"]["wall"], float)
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        hb = HeartbeatFile(path, "w1", "worker")
+        hb.close()
+        hb.beat("waiting")  # must not raise
+        assert len(events_of(path)) == 1  # just the meta header
+
+
+class TestNodeStatus:
+    def test_folds_claim_lifecycle(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        with HeartbeatFile(path, "w1", "worker") as hb:
+            hb.event("node.start")
+            hb.event("shard.claimed", shard="0000000000-0000000015")
+        status = read_node_status(path)
+        assert status.node == "w1"
+        assert status.role == "worker"
+        assert status.state == "executing"
+        assert status.shard == "0000000000-0000000015"
+
+    def test_exit_wins_over_everything(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        with HeartbeatFile(path, "w1", "worker") as hb:
+            hb.event("shard.claimed", shard="0000000000-0000000015")
+            hb.event("node.exit", executed=1)
+        status = read_node_status(path)
+        assert status.state == "exited"
+        assert status.shard is None
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        with HeartbeatFile(path, "w1", "worker") as hb:
+            hb.event("node.start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ev": "event", "na')  # killed mid-write
+        status = read_node_status(path)
+        assert status is not None
+        assert status.state == "running"
+
+    def test_empty_file_has_no_status(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert read_node_status(path) is None
+
+
+class TestLiveness:
+    def test_fresh_nodes_are_live_exited_and_stale_are_not(self, tmp_path):
+        with HeartbeatFile(tmp_path / "fresh.jsonl", "fresh", "worker") as hb:
+            hb.beat("waiting")
+        with HeartbeatFile(tmp_path / "gone.jsonl", "gone", "worker") as hb:
+            hb.event("node.exit")
+        statuses = read_heartbeats(tmp_path)
+        assert [status.node for status in statuses] == ["fresh", "gone"]
+        now = time.time()
+        assert [status.node for status in live_nodes(tmp_path, 10.0, now)] == [
+            "fresh"
+        ]
+        # Pretend an hour passes: nobody is live.
+        assert live_nodes(tmp_path, 10.0, now + 3600.0) == []
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert read_heartbeats(tmp_path / "absent") == []
+        assert live_nodes(tmp_path / "absent", 10.0) == []
+
+
+def test_default_node_id_embeds_the_pid():
+    import os
+
+    ident = default_node_id("worker")
+    assert ident.startswith("worker-")
+    assert ident.endswith(f"-{os.getpid()}")

@@ -1,0 +1,234 @@
+"""The kill matrix: SIGKILL a node at every protocol point, verify identity.
+
+Worker deaths are injected through ``REPRO_CLUSTER_FAULT`` (the worker
+SIGKILLs itself -- no unwind, no lease release, exactly the crash the
+protocol must absorb) at each point of the claim->execute->publish
+cycle; coordinator death is staged as a run directory with an expired
+coordinator lease and partial results, then adopted.  Every schedule
+must still produce a merged report byte-identical to the serial one.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterError,
+    ClusterExecutor,
+    FAULT_ENV,
+    FAULT_POINTS,
+    ShardQueue,
+    ShardTask,
+    WorkerConfig,
+    work,
+)
+from repro.cluster.files import write_json_atomic
+from repro.cluster.worker import parse_fault
+from repro.obs import MemorySink, Telemetry
+from repro.runtime import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    SerialExecutor,
+    canonical_json,
+    execute_job,
+    plan_shards,
+)
+
+from tests.cluster.conftest import canonical
+
+SWEEP = JobSpec(
+    algorithm=AlgorithmSpec("fast-sim", 4),
+    graph=GraphSpec.make("ring", n=6),
+    delays=(0, 1),
+    fix_first_start=True,
+)
+
+
+def config(tmp_path, **overrides):
+    # ttl is the failure-detection horizon: keep it short so stolen
+    # leases come back within a test-friendly delay.
+    defaults = dict(
+        workers=2, root=str(tmp_path), ttl=1.0, poll=0.05, stall_timeout=120.0
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestWorkerKills:
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    def test_killed_worker_never_changes_the_report(
+        self, scenario, serial_baseline, tmp_path, monkeypatch, point
+    ):
+        monkeypatch.setenv(FAULT_ENV, f"{point}:0")
+        executor = ClusterExecutor(config(tmp_path))
+        run = scenario.run(cluster=executor, cache=False, shard_count=4)
+        assert canonical(run) == serial_baseline
+        # The kill really happened: the exactly-once marker exists.
+        marker = executor.run_dir / "faults" / f"{point}-0.fired"
+        assert marker.exists()
+
+    def test_abandoned_claim_is_reaped_and_reported(self, tmp_path):
+        # An expired lease behind a dead worker must be reaped by the
+        # coordinator and surfaced as a shard.requeued event.  Staged on
+        # an externally-staffed run (workers=0) so no local worker can
+        # steal the lease first -- workers stealing on their own is the
+        # other, racy recovery path, covered by the kill tests above.
+        import threading
+
+        sink = MemorySink()
+        executor = ClusterExecutor(
+            config(tmp_path, workers=0, run_id="reap", ttl=5.0),
+            telemetry=Telemetry(sink),
+        )
+        queue = ShardQueue(tmp_path / "reap")
+        graph = SWEEP.graph.build()
+        bounds = plan_shards(SWEEP.config_space_size(graph), shard_count=4)
+        specs = [SWEEP.shard_spec(lo, hi) for lo, hi in bounds]
+        collected = []
+
+        def collect():
+            collected.extend(executor.map_shards(specs))
+
+        thread = threading.Thread(target=collect)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while queue.load_job() is None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            now = time.time()
+            write_json_atomic(
+                queue.leases_dir / f"{specs[0].shard[0]:010d}-"
+                f"{specs[0].shard[1]:010d}.json",
+                {"owner": "dead-worker", "acquired": now - 100.0,
+                 "expires": now - 50.0, "renewals": 0},
+            )
+            from repro.runtime import run_shard
+
+            while not any(
+                event.get("name") == "shard.requeued" for event in sink.events
+            ) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            for spec in specs:
+                queue.complete(
+                    ShardTask(*spec.shard), run_shard(spec)
+                )
+            thread.join(timeout=30.0)
+        finally:
+            executor.close()
+        assert not thread.is_alive()
+        assert len(collected) == 4
+        requeued = [
+            event
+            for event in sink.events
+            if event.get("name") == "shard.requeued"
+        ]
+        assert len(requeued) == 1
+        assert requeued[0]["attrs"]["lo"] == specs[0].shard[0]
+        assert requeued[0]["attrs"]["owner"] == "dead-worker"
+
+    def test_kill_mid_run_on_a_later_shard(
+        self, scenario, serial_baseline, tmp_path, monkeypatch
+    ):
+        # Same matrix, different schedule: the victim dies holding the
+        # last shard after completing earlier ones.
+        monkeypatch.setenv(FAULT_ENV, "before-result:45")
+        run = scenario.run(
+            cluster=ClusterExecutor(config(tmp_path)),
+            cache=False,
+            shard_count=4,
+        )
+        assert canonical(run) == serial_baseline
+
+
+class TestCoordinatorDeath:
+    def stage_dead_coordinator(self, run_dir, shards_done):
+        """A run directory as a SIGKILLed coordinator leaves it.
+
+        Published tasks, a coordinator lease that expired, and partial
+        results staged by an in-process worker.
+        """
+        queue = ShardQueue(run_dir)
+        graph = SWEEP.graph.build()
+        bounds = plan_shards(SWEEP.config_space_size(graph), shard_count=4)
+        queue.publish(SWEEP, bounds, shard_count=4)
+        now = time.time()
+        write_json_atomic(
+            queue.coordinator_lease_path,
+            {
+                "owner": "dead-coordinator",
+                "acquired": now - 100.0,
+                "expires": now - 50.0,
+                "renewals": 7,
+            },
+        )
+        if shards_done:
+            executed = work(
+                WorkerConfig(
+                    run_dir, ttl=5.0, poll=0.05, max_shards=shards_done
+                )
+            )
+            assert executed == shards_done
+        return queue
+
+    def serial_report(self):
+        return canonical_json(
+            execute_job(SWEEP, executor=SerialExecutor(), shard_count=4
+                        ).report.to_dict()
+        )
+
+    def test_adoption_resumes_partial_progress(self, tmp_path):
+        queue = self.stage_dead_coordinator(tmp_path / "adopt", shards_done=2)
+        sink = MemorySink()
+        executor = ClusterExecutor(
+            config(tmp_path, workers=1, run_id="adopt", ttl=5.0),
+            telemetry=Telemetry(sink),
+        )
+        try:
+            outcome = execute_job(SWEEP, executor=executor, shard_count=4)
+        finally:
+            executor.close()
+        assert canonical_json(outcome.report.to_dict()) == self.serial_report()
+        takeovers = [
+            event
+            for event in sink.events
+            if event.get("name") == "coordinator.takeover"
+        ]
+        assert [t["attrs"]["previous"] for t in takeovers] == [
+            "dead-coordinator"
+        ]
+        # Republication found every task already on disk.
+        published = [
+            event
+            for event in sink.events
+            if event.get("name") == "cluster.published"
+        ]
+        assert published[0]["attrs"]["new"] == 0
+        assert queue.finished()
+
+    def test_adoption_with_all_results_already_on_disk(self, tmp_path):
+        # The degenerate schedule: coordinator died after the last
+        # result landed but before merging.  Adoption needs no workers.
+        self.stage_dead_coordinator(tmp_path / "adopt", shards_done=4)
+        executor = ClusterExecutor(
+            config(tmp_path, workers=0, run_id="adopt", ttl=5.0)
+        )
+        try:
+            outcome = execute_job(SWEEP, executor=executor, shard_count=4)
+        finally:
+            executor.close()
+        assert canonical_json(outcome.report.to_dict()) == self.serial_report()
+
+
+class TestFaultDirectives:
+    def test_parse_fault_round_trips(self):
+        assert parse_fault(None) is None
+        assert parse_fault("") is None
+        assert parse_fault("after-claim:30") == ("after-claim", 30)
+
+    def test_parse_fault_rejects_unknown_points_and_bad_bounds(self):
+        with pytest.raises(ClusterError, match="unknown fault point"):
+            parse_fault("mid-sleep:0")
+        with pytest.raises(ClusterError, match="integer shard"):
+            parse_fault("after-claim:zero")

@@ -1,0 +1,178 @@
+"""The filesystem shard queue: publication, claims, completion, reaping."""
+
+import pytest
+
+from repro.cluster import ClusterError, ShardQueue, ShardTask
+from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec, plan_shards, run_shard
+
+SWEEP = JobSpec(
+    algorithm=AlgorithmSpec("fast-sim", 4),
+    graph=GraphSpec.make("ring", n=6),
+    delays=(0, 1),
+    fix_first_start=True,
+)
+OTHER_SWEEP = JobSpec(
+    algorithm=AlgorithmSpec("cheap-sim", 4),
+    graph=GraphSpec.make("ring", n=6),
+    delays=(0, 1),
+    fix_first_start=True,
+)
+BOUNDS = [(0, 15), (15, 30), (30, 45), (45, 60)]
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return ShardQueue(tmp_path / "run", clock=clock)
+
+
+class TestPublication:
+    def test_publish_creates_tasks_and_spec(self, queue):
+        assert queue.publish(SWEEP, BOUNDS) == 4
+        assert [task.bounds for task in queue.tasks()] == BOUNDS
+        assert queue.load_spec().key() == SWEEP.sweep_spec().key()
+
+    def test_republish_is_idempotent(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        assert queue.publish(SWEEP, BOUNDS) == 0
+        assert len(queue.tasks()) == 4
+
+    def test_republish_fills_in_missing_tasks_only(self, queue):
+        queue.publish(SWEEP, BOUNDS[:2])
+        assert queue.publish(SWEEP, BOUNDS) == 2
+        assert [task.bounds for task in queue.tasks()] == BOUNDS
+
+    def test_publishing_a_different_sweep_refuses(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        with pytest.raises(ClusterError, match="fresh --run-id"):
+            queue.publish(OTHER_SWEEP, BOUNDS)
+
+    def test_sharded_spec_is_normalized_to_the_sweep(self, queue):
+        queue.publish(SWEEP.shard_spec(0, 15), BOUNDS)
+        assert queue.load_spec().shard is None
+
+    def test_load_spec_before_publish_raises(self, queue):
+        with pytest.raises(ClusterError, match="no job published"):
+            queue.load_spec()
+
+    def test_version_mismatch_raises(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        payload = queue.load_job()
+        payload["version"] = 99
+        from repro.cluster.files import write_json_atomic
+
+        write_json_atomic(queue.job_path, payload)
+        with pytest.raises(ClusterError, match="layout version"):
+            queue.load_job()
+
+
+class TestClaims:
+    def test_claims_are_exclusive_and_lowest_first(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        task1, _ = queue.claim("w1", ttl=10.0)
+        assert task1.bounds == (0, 15)
+        task2, _ = queue.claim("w2", ttl=10.0)
+        assert task2.bounds == (15, 30)
+
+    def test_everything_leased_means_no_claim(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        for index in range(4):
+            assert queue.claim(f"w{index}", ttl=10.0) is not None
+        assert queue.claim("late", ttl=10.0) is None
+
+    def test_expired_leases_are_stolen_on_claim(self, queue, clock):
+        queue.publish(SWEEP, BOUNDS)
+        queue.claim("dead", ttl=10.0)
+        clock.advance(11.0)
+        task, lease = queue.claim("alive", ttl=10.0)
+        assert task.bounds == (0, 15)
+        assert lease.owner == "alive"
+
+    def test_complete_publishes_result_and_drops_lease(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        task, _ = queue.claim("w1", ttl=10.0)
+        report = run_shard(SWEEP.shard_spec(*task.bounds))
+        queue.complete(task, report, owner="w1")
+        assert queue.has_result(task)
+        assert queue.lease_of(task) is None
+        assert queue.result(task).to_dict() == report.to_dict()
+
+    def test_done_shards_are_never_claimed(self, queue):
+        queue.publish(SWEEP, BOUNDS)
+        task, _ = queue.claim("w1", ttl=10.0)
+        queue.complete(task, run_shard(SWEEP.shard_spec(*task.bounds)), owner="w1")
+        next_task, _ = queue.claim("w1", ttl=10.0)
+        assert next_task.bounds == (15, 30)
+
+    def test_finished_needs_every_result(self, queue):
+        assert not queue.finished()  # nothing published
+        queue.publish(SWEEP, BOUNDS)
+        assert not queue.finished()
+        for task in queue.tasks():
+            queue.complete(task, run_shard(SWEEP.shard_spec(*task.bounds)))
+        assert queue.finished()
+
+
+class TestReaping:
+    def test_reap_returns_expired_claims(self, queue, clock):
+        queue.publish(SWEEP, BOUNDS)
+        queue.claim("dead", ttl=10.0)
+        queue.claim("live", ttl=100.0)
+        clock.advance(11.0)
+        reaped = queue.reap_expired()
+        assert [(task.bounds, lease.owner) for task, lease in reaped] == [
+            ((0, 15), "dead")
+        ]
+        # The reaped shard is claimable again immediately.
+        task, _ = queue.claim("w2", ttl=10.0)
+        assert task.bounds == (0, 15)
+
+    def test_reap_skips_completed_shards(self, queue, clock):
+        queue.publish(SWEEP, BOUNDS)
+        task, _ = queue.claim("w1", ttl=10.0)
+        queue.complete(task, run_shard(SWEEP.shard_spec(*task.bounds)))
+        clock.advance(11.0)
+        assert queue.reap_expired() == []
+
+    def test_counts_accounting(self, queue, clock):
+        queue.publish(SWEEP, BOUNDS)
+        task, _ = queue.claim("w1", ttl=100.0)
+        queue.complete(task, run_shard(SWEEP.shard_spec(*task.bounds)), owner="w1")
+        queue.claim("w1", ttl=100.0)
+        queue.claim("w2", ttl=10.0)
+        clock.advance(11.0)  # w2's lease expires, w1's holds
+        assert queue.counts() == {
+            "total": 4,
+            "done": 1,
+            "leased": 1,
+            "pending": 2,
+        }
+
+
+class TestShardTask:
+    def test_ident_is_zero_padded_and_sortable(self):
+        assert ShardTask(0, 15).ident == "0000000000-0000000015"
+        assert sorted([ShardTask(100, 200), ShardTask(2, 100)])[0].lo == 2
+
+    def test_str_shows_half_open_bounds(self):
+        assert str(ShardTask(0, 15)) == "[0, 15)"
+
+    def test_plan_shards_bounds_round_trip_through_filenames(self, queue):
+        bounds = plan_shards(60, shard_count=7)
+        queue.publish(SWEEP, bounds)
+        assert [task.bounds for task in queue.tasks()] == bounds

@@ -162,3 +162,49 @@ class TestExecutors:
         report = run_shard(RING_JOB)
         assert report.shard == (0, RING_JOB.config_space_size())
         assert report.executions == report.shard[1]
+
+
+def _die_executing(spec):
+    """Picklable stand-in for run_shard that dies like a killed worker."""
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestPlanShardsGuards:
+    def test_oversized_shard_count_never_plans_empty_shards(self):
+        for total in (1, 2, 5):
+            bounds = plan_shards(total, shard_count=16)
+            assert len(bounds) == total
+            assert all(hi > lo for lo, hi in bounds)
+
+    def test_shard_count_is_validated_even_for_an_empty_space(self):
+        # The guard must fire before the total == 0 early return.
+        with pytest.raises(ValueError, match="shard_count"):
+            plan_shards(0, shard_count=0)
+        with pytest.raises(ValueError, match="shard_count"):
+            plan_shards(10, shard_count=-3)
+
+    def test_oversized_shard_size_is_one_whole_shard(self):
+        assert plan_shards(5, shard_size=100) == [(0, 5)]
+
+
+class TestShardExecutionError:
+    def test_worker_death_names_the_failed_shard(self, monkeypatch):
+        from repro.runtime import ShardExecutionError
+        from repro.runtime import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "run_shard", _die_executing)
+        executor = ParallelExecutor(2)
+        specs = [RING_JOB.shard_spec(lo, hi) for lo, hi in plan_shards(8, 4)]
+        with pytest.raises(ShardExecutionError) as excinfo:
+            list(executor.map_shards(specs))
+        err = excinfo.value
+        assert err.shard in [spec.shard for spec in specs]
+        assert f"[{err.shard[0]}, {err.shard[1]})" in str(err)
+        assert "--cache" in str(err)
+        assert "cluster run" in str(err)
+        # The broken pool was dropped so a retry gets a fresh one.
+        assert executor._pool is None
+        executor.close()

@@ -1,13 +1,15 @@
 """CI smoke check for the CLI and the internal-deprecation policy.
 
-Four gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+Five gates, all dependency-free (run with ``python tools/ci_smoke.py``):
 
 1. ``python -m repro --help`` exits 0 in a fresh subprocess;
 2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
    end-to-end in-process and prints parseable canonical JSON;
 3. ``experiments list --json`` exposes the registered experiment
    catalog (all twelve EXP-NN ids);
-4. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+4. ``cluster status --json`` answers with the expected payload shape
+   (an empty cluster root is a valid, reportable state);
+5. no ``DeprecationWarning`` originates from inside ``src/repro`` while
    doing so -- deprecation shims, if any ever exist, are for external
    callers only; package-internal code must stay on the current API.
 """
@@ -44,7 +46,7 @@ def check_help() -> None:
     if proc.returncode != 0:
         fail(f"--help exited {proc.returncode}: {proc.stderr}")
     for command in ("run", "sweep", "certify", "explore", "tradeoff",
-                    "experiments", "telemetry"):
+                    "experiments", "telemetry", "cluster"):
         if command not in proc.stdout:
             fail(f"--help does not mention the {command!r} command")
     print("help: OK")
@@ -106,8 +108,16 @@ def check_json_commands() -> None:
         fail(f"experiments list is missing {sorted(missing)}")
     print("experiments list --json: OK")
 
+    status_out, status_warnings = run_cli_capturing(
+        ["cluster", "status", "--root", "ci-smoke-empty-cluster", "--json"]
+    )
+    status = json.loads(status_out)
+    if sorted(status) != ["root", "runs"] or status["runs"] != []:
+        fail(f"unexpected cluster status payload: {status}")
+    print("cluster status --json: OK")
+
     offenders = internal_deprecations(
-        sweep_warnings + run_warnings + list_warnings
+        sweep_warnings + run_warnings + list_warnings + status_warnings
     )
     if offenders:
         lines = "\n".join(
