@@ -23,6 +23,7 @@ from repro.graphs.families import oriented_ring
 from repro.lower_bounds.behaviour import behaviour_from_schedule
 from repro.lower_bounds.ring_exec import meeting_round
 from repro.lower_bounds.trim import trimmed_from_algorithm
+from repro.obs import MemorySink, Telemetry
 from repro.runtime import (
     AlgorithmSpec,
     GraphSpec,
@@ -32,7 +33,6 @@ from repro.runtime import (
     canonical_json,
     execute_job,
 )
-from repro.obs import MemorySink, Telemetry
 from repro.sim.adversary import (
     all_label_pairs,
     configurations,

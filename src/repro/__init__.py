@@ -39,6 +39,7 @@ from repro.api import (
     run_job,
     sweep_objects,
 )
+from repro.cluster import ClusterConfig, ClusterError, ClusterExecutor
 from repro.core import (
     Cheap,
     CheapSimultaneous,
@@ -65,7 +66,6 @@ from repro.exploration import (
     UXSExploration,
     best_exploration,
 )
-from repro.cluster import ClusterConfig, ClusterError, ClusterExecutor
 from repro.graphs import PortLabeledGraph, oriented_ring
 from repro.obs import (
     JsonlSink,

@@ -11,10 +11,10 @@ scatter plot.  Worst-case sweeps themselves live in :mod:`repro.api`
 have been removed.
 """
 
-from repro.analysis.tables import Table, format_ratio
-from repro.analysis.tradeoff import TradeoffPoint, tradeoff_points
 from repro.analysis.ascii_plot import scatter_plot
 from repro.analysis.memory import MemoryProfile, counter_bits, dfs_walk_bits, map_bits
+from repro.analysis.tables import Table, format_ratio
+from repro.analysis.tradeoff import TradeoffPoint, tradeoff_points
 from repro.api import SweepRow
 
 __all__ = [

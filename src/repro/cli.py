@@ -68,8 +68,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.api import Scenario, canonical_json, resolve_store, run_job
 from repro.analysis.tables import Table, format_ratio, print_lines
+from repro.api import Scenario, canonical_json, resolve_store, run_job
 from repro.cluster import (
     DEFAULT_CLUSTER_ROOT,
     DEFAULT_TTL,
@@ -90,6 +90,10 @@ from repro.experiments.campaign import (
     load_reports,
     render_report,
 )
+from repro.graphs import oriented_ring
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.lower_bounds import certify_theorem_31, certify_theorem_32
+from repro.lower_bounds.trim import trimmed_from_algorithm
 from repro.obs.events import (
     read_events,
     render_summary,
@@ -100,10 +104,6 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import JsonlSink, ProgressSink, combine
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
-from repro.graphs import oriented_ring
-from repro.graphs.port_graph import PortLabeledGraph
-from repro.lower_bounds import certify_theorem_31, certify_theorem_32
-from repro.lower_bounds.trim import trimmed_from_algorithm
 from repro.registry import ALGORITHMS, EXPERIMENTS, GRAPH_FAMILIES, SpecError
 from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
 from repro.runtime.store import DEFAULT_CACHE_DIR
@@ -708,6 +708,41 @@ def command_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_lint(args: argparse.Namespace) -> int:
+    # Local import: the lint engine is only needed by this command and
+    # pulls in the rule registry provider at resolution time.
+    from repro.lint import DEFAULT_LINT_CACHE_DIR, LintCache, lint_paths
+
+    if args.no_cache and args.cache_dir is not None:
+        raise SystemExit("--no-cache contradicts --cache-dir")
+    paths = args.paths
+    if not paths:
+        default = Path("src")
+        if not default.is_dir():
+            raise SystemExit(
+                "no src/ directory here; pass the paths to lint explicitly"
+            )
+        paths = [str(default)]
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(
+            args.cache_dir if args.cache_dir is not None else DEFAULT_LINT_CACHE_DIR
+        )
+    try:
+        report = lint_paths(paths, select=args.select, ignore=args.ignore,
+                            cache=cache)
+    except FileNotFoundError as err:
+        raise SystemExit(str(err)) from None
+    if args.json:
+        print(report.to_json())
+    elif args.check:
+        status = "ok" if report.ok else f"{len(report.findings)} finding(s)"
+        print(f"lint --check: {status} in {report.files} file(s)")
+    else:
+        print_lines(report.render_lines())
+    return 0 if report.ok else 1
+
+
 def command_explore(args: argparse.Namespace) -> int:
     from repro.exploration import KnowledgeModel, best_exploration
     from repro.graphs.families import standard_test_suite
@@ -807,6 +842,41 @@ def make_parser() -> argparse.ArgumentParser:
 
     explore_parser = sub.add_parser("explore", help="exploration budget table")
     explore_parser.set_defaults(func=command_explore)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically enforce the determinism / atomicity / telemetry-"
+             "inertness invariants (AST-based, dependency-free)",
+    )
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files or directories to lint (default: src)")
+    lint_output = lint_parser.add_mutually_exclusive_group()
+    lint_output.add_argument("--json", action="store_true",
+                             help="emit the canonical JSON report "
+                                  "(findings under result, cache counts "
+                                  "under the non-canonical runtime block)")
+    lint_output.add_argument("--check", action="store_true",
+                             help="print only the verdict line; the exit "
+                                  "status still reflects the findings")
+    lint_parser.add_argument("--select", nargs="+", metavar="RULE",
+                             default=None,
+                             help="run only these REP0xx rules")
+    lint_parser.add_argument("--ignore", nargs="+", metavar="RULE",
+                             default=None,
+                             help="skip these REP0xx rules")
+    lint_cache_group = lint_parser.add_mutually_exclusive_group()
+    lint_cache_group.add_argument("--cache", dest="no_cache",
+                                  action="store_false",
+                                  help="reuse per-file results keyed on "
+                                       "content hash (default)")
+    lint_cache_group.add_argument("--no-cache", dest="no_cache",
+                                  action="store_true",
+                                  help="re-lint every file")
+    lint_parser.set_defaults(no_cache=False)
+    lint_parser.add_argument("--cache-dir", default=None,
+                             help="lint cache directory (default "
+                                  ".repro_cache/lint)")
+    lint_parser.set_defaults(func=command_lint)
 
     tradeoff_parser = sub.add_parser("tradeoff", help="measured tradeoff table")
     tradeoff_parser.add_argument("--size", type=int, default=12)

@@ -28,6 +28,11 @@ but timing is non-canonical by construction).
 
 from __future__ import annotations
 
+# repro: allow-file(REP001) -- leases ARE wall-clock claims (see the
+# module doc: expiry must agree across hosts sharing a mount), and lease
+# state never reaches a canonical report.  Callers inject fake Clocks in
+# tests.
+
 import itertools
 import json
 import os

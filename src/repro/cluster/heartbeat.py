@@ -25,6 +25,10 @@ Event names (all carrying ``node``/``role``/``wall`` attrs):
 
 from __future__ import annotations
 
+# repro: allow-file(REP001) -- heartbeats are liveness telemetry: their
+# whole payload is clock readings (monotonic ts + wall for cross-node
+# staleness), and nothing here feeds canonical report bytes.
+
 import json
 import os
 import socket
@@ -59,6 +63,10 @@ class HeartbeatFile:
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # repro: allow(REP010): a heartbeat is a long-lived append-only
+        # JSONL *stream*, not a document -- atomic replace cannot apply
+        # to a handle held open for the node's lifetime, and readers
+        # (read_heartbeat) already tolerate a torn trailing line.
         self._handle = open(self.path, "w", encoding="utf-8")
         self._emit({"ev": "meta", "schema": SCHEMA_VERSION,
                     "library": _library_version()})

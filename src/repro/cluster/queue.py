@@ -85,6 +85,8 @@ class ShardTask:
 class ShardQueue:
     """All state of one cluster run, addressed through its directory."""
 
+    # repro: allow(REP001): the queue's clock defaults to the wall clock
+    # the lease protocol is specified against; tests inject a fake Clock.
     def __init__(self, run_dir: "str | Path", clock: Clock = time.time):
         self.run_dir = Path(run_dir)
         self.clock = clock

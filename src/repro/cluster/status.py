@@ -17,6 +17,8 @@ from repro.cluster.queue import DEFAULT_CLUSTER_ROOT, ShardQueue
 
 def run_status(run_dir: "str | Path", now: "float | None" = None) -> "dict[str, Any]":
     """Everything one run directory says about its run."""
+    # repro: allow(REP001): status reads lease expiry against the same
+    # wall clock the lease protocol writes; never part of a canonical report.
     now = now if now is not None else time.time()
     queue = ShardQueue(run_dir)
     job = queue.load_job()

@@ -17,6 +17,7 @@ construction for agents that know no bound ``E``; :mod:`repro.core.bounds`
 collects every closed-form bound from the paper.
 """
 
+from repro.core import bounds
 from repro.core.base import RendezvousAlgorithm
 from repro.core.cheap import Cheap, CheapSimultaneous
 from repro.core.fast import Fast, FastSimultaneous
@@ -25,7 +26,6 @@ from repro.core.labels import binary_bits, modified_label, transform_bits
 from repro.core.relabeling import lex_rank, lex_subset_bits, relabel_bits, smallest_t
 from repro.core.schedule import Schedule, Segment, SegmentKind
 from repro.core.unknown_e import IteratedDoublingRendezvous, ring_level_factory, uxs_level_factory
-from repro.core import bounds
 
 __all__ = [
     "Cheap",

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.exploration.base import ExplorationProcedure
 from repro.core.schedule import Schedule, schedule_body, schedule_program
+from repro.exploration.base import ExplorationProcedure
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, AgentGenerator, SubBehaviour
 

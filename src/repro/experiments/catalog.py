@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from math import log2, log10
+from math import log10, log2
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.ascii_plot import scatter_plot
@@ -40,6 +40,13 @@ from repro.core.cheap import CheapSimultaneous
 from repro.core.fast import Fast, FastSimultaneous
 from repro.core.relabeling import smallest_t
 from repro.core.unknown_e import IteratedDoublingRendezvous, ring_level_factory
+from repro.experiments.base import (
+    Check,
+    Experiment,
+    ExperimentContext,
+    ExperimentReport,
+    check,
+)
 from repro.exploration import (
     KnowledgeModel,
     best_exploration,
@@ -48,13 +55,6 @@ from repro.exploration import (
 from repro.exploration.dfs import KnownMapDFS
 from repro.exploration.ring import RingExploration
 from repro.exploration.uxs import build_verified_uxs
-from repro.experiments.base import (
-    Check,
-    Experiment,
-    ExperimentContext,
-    ExperimentReport,
-    check,
-)
 from repro.graphs.families import oriented_ring, standard_test_suite, star_graph
 from repro.lower_bounds.certificates import certify_theorem_31, certify_theorem_32
 from repro.lower_bounds.trim import trimmed_from_algorithm

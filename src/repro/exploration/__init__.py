@@ -32,10 +32,10 @@ from repro.exploration.base import (
 from repro.exploration.dfs import KnownMapDFS, dfs_walk_ports
 from repro.exploration.euler import EulerianExploration, eulerian_circuit_ports
 from repro.exploration.hamiltonian import HamiltonianExploration, find_hamiltonian_cycle
+from repro.exploration.registry import KnowledgeModel, best_exploration
 from repro.exploration.ring import RingExploration
 from repro.exploration.try_all_dfs import TryAllDFS
 from repro.exploration.uxs import UXSExploration, build_verified_uxs, is_uxs_for
-from repro.exploration.registry import best_exploration, KnowledgeModel
 
 __all__ = [
     "EulerianExploration",

@@ -11,8 +11,8 @@ in at most ``2n - 2`` moves; the try-all-DFS procedure builds on it.
 
 from __future__ import annotations
 
-from repro.graphs.port_graph import PortLabeledGraph
 from repro.exploration.base import ExplorationProcedure
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

@@ -12,8 +12,8 @@ Hierholzer's algorithm, expressed directly over ports.
 
 from __future__ import annotations
 
-from repro.graphs.port_graph import PortLabeledGraph
 from repro.exploration.base import ExplorationProcedure
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

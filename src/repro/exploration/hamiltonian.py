@@ -9,8 +9,8 @@ position, follows the cycle for ``n - 1`` steps.
 
 from __future__ import annotations
 
-from repro.graphs.port_graph import PortLabeledGraph
 from repro.exploration.base import ExplorationProcedure
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

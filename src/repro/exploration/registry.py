@@ -20,8 +20,6 @@ from __future__ import annotations
 import random
 from enum import Enum
 
-from repro.graphs.port_graph import PortLabeledGraph
-from repro.graphs.validation import is_oriented_ring
 from repro.exploration.base import ExplorationProcedure
 from repro.exploration.dfs import KnownMapDFS
 from repro.exploration.euler import EulerianExploration, has_eulerian_circuit
@@ -29,6 +27,8 @@ from repro.exploration.hamiltonian import HamiltonianExploration, find_hamiltoni
 from repro.exploration.ring import RingExploration
 from repro.exploration.try_all_dfs import TryAllDFS
 from repro.exploration.uxs import UXSExploration, build_verified_uxs
+from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.validation import is_oriented_ring
 from repro.registry import EXPLORATIONS, KNOWLEDGE_MODELS
 
 

@@ -8,8 +8,8 @@ knowledge is needed beyond the ring's size -- orientation makes port 0
 
 from __future__ import annotations
 
-from repro.graphs.orientation import CLOCKWISE
 from repro.exploration.base import ExplorationProcedure
+from repro.graphs.orientation import CLOCKWISE
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

@@ -20,9 +20,9 @@ budget and record the factor-2 discrepancy in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from repro.graphs.port_graph import PortLabeledGraph
 from repro.exploration.base import ExplorationProcedure
 from repro.exploration.dfs import dfs_walk_ports
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

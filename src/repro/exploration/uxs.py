@@ -20,8 +20,8 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
-from repro.graphs.port_graph import PortLabeledGraph
 from repro.exploration.base import ExplorationProcedure
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.sim.observation import Observation
 from repro.sim.program import AgentContext, SubBehaviour
 

@@ -8,7 +8,7 @@ throughout the experiments, and :mod:`repro.graphs.conversion` bridges to
 ``networkx``.
 """
 
-from repro.graphs.port_graph import PortLabeledGraph
+from repro.graphs.conversion import from_networkx, to_networkx
 from repro.graphs.families import (
     circulant_graph,
     complete_bipartite,
@@ -25,8 +25,8 @@ from repro.graphs.families import (
     star_graph,
     torus_grid,
 )
-from repro.graphs.conversion import from_networkx, to_networkx
 from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE
+from repro.graphs.port_graph import PortLabeledGraph
 from repro.graphs.validation import check_port_graph
 
 __all__ = [

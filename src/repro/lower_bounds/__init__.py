@@ -23,29 +23,11 @@ constructions is computable, and this package computes it:
   certificate reports over real algorithm executions.
 """
 
+from repro.lower_bounds.aggregate import aggregate_vector, surplus
 from repro.lower_bounds.behaviour import (
     behaviour_from_schedule,
     behaviour_from_solo_run,
     forward_and_back,
-)
-from repro.lower_bounds.ring_exec import (
-    displacement,
-    meeting_round,
-    positions_over_time,
-    solo_cost,
-)
-from repro.lower_bounds.trim import TrimmedAlgorithm, extract_trimmed_vectors, trim_vectors
-from repro.lower_bounds.aggregate import aggregate_vector, surplus
-from repro.lower_bounds.progress import (
-    define_progress,
-    progress_pairs,
-    verify_progress_invariants,
-)
-from repro.lower_bounds.tournament import (
-    EagerReport,
-    eager_agent,
-    hamiltonian_path,
-    tournament_edges,
 )
 from repro.lower_bounds.certificates import (
     CertificateError,
@@ -60,6 +42,24 @@ from repro.lower_bounds.lemmas import (
     fact_34_holds,
     fact_36_bound,
 )
+from repro.lower_bounds.progress import (
+    define_progress,
+    progress_pairs,
+    verify_progress_invariants,
+)
+from repro.lower_bounds.ring_exec import (
+    displacement,
+    meeting_round,
+    positions_over_time,
+    solo_cost,
+)
+from repro.lower_bounds.tournament import (
+    EagerReport,
+    eager_agent,
+    hamiltonian_path,
+    tournament_edges,
+)
+from repro.lower_bounds.trim import TrimmedAlgorithm, extract_trimmed_vectors, trim_vectors
 
 __all__ = [
     "CertificateError",

@@ -246,12 +246,21 @@ KNOWLEDGE_MODELS = Registry(
 #: for the extensions beyond the paper).
 EXPERIMENTS = Registry("experiment", providers=("repro.experiments.catalog",))
 
+#: Lint rule id (``REP0xx``) -> :class:`repro.lint.rules.Rule` subclass.
+#: Metadata: ``family`` (``determinism``/``atomicity``/``inertness``) and
+#: ``mirrors`` (the dynamic test suite proving the same invariant at run
+#: time).  Resolved by ``python -m repro lint --select/--ignore`` exactly
+#: like scenario axes: unknown ids raise :class:`SpecError` listing the
+#: registered rules.
+LINT_RULES = Registry("lint rule", providers=("repro.lint.rules",))
+
 __all__ = [
     "ALGORITHMS",
     "EXPERIMENTS",
     "EXPLORATIONS",
     "GRAPH_FAMILIES",
     "KNOWLEDGE_MODELS",
+    "LINT_RULES",
     "PRESENCE_MODELS",
     "Registry",
     "RegistryEntry",

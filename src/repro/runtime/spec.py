@@ -34,7 +34,6 @@ from repro.registry import (
     EXPLORATIONS,
     GRAPH_FAMILIES,
     KNOWLEDGE_MODELS,
-    SpecError,
 )
 from repro.sim.adversary import (
     Configuration,

@@ -156,7 +156,7 @@ class RunStore:
         if not runs.exists():
             return 0
         removed = 0
-        for path in runs.glob("*.jsonl"):
+        for path in sorted(runs.glob("*.jsonl")):
             path.unlink()
             removed += 1
         return removed

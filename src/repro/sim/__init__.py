@@ -13,17 +13,6 @@ The simulator implements the paper's execution model exactly:
 """
 
 from repro.sim.actions import WAIT, Action, is_move
-from repro.sim.observation import Observation
-from repro.sim.program import AgentContext, ProgramFactory, ReactiveProgram, idle
-from repro.sim.metrics import RendezvousResult
-from repro.sim.simulator import (
-    AgentSpec,
-    PresenceModel,
-    Simulator,
-    default_max_rounds,
-    simulate_rendezvous,
-)
-from repro.sim.trace import AgentTrace
 from repro.sim.adversary import WorstCaseReport, worst_case_search
 from repro.sim.batch import (
     BatchTimelineTable,
@@ -37,6 +26,17 @@ from repro.sim.compiled import (
     compiled_worst_case_search,
 )
 from repro.sim.gathering import GatheringResult, GatheringSimulator, GatheringSpec, gather
+from repro.sim.metrics import RendezvousResult
+from repro.sim.observation import Observation
+from repro.sim.program import AgentContext, ProgramFactory, ReactiveProgram, idle
+from repro.sim.simulator import (
+    AgentSpec,
+    PresenceModel,
+    Simulator,
+    default_max_rounds,
+    simulate_rendezvous,
+)
+from repro.sim.trace import AgentTrace
 
 __all__ = [
     "WAIT",

@@ -31,6 +31,11 @@ rather than re-implemented; only the per-configuration interaction logic
 
 from __future__ import annotations
 
+# repro: allow-file(REP001) -- perf_counter here meters trajectory-table
+# builds and scans for telemetry gauges (build_seconds); measurements
+# flow only through Telemetry, never into RendezvousResult bytes, as the
+# inertness matrix in tests/obs proves dynamically.
+
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable

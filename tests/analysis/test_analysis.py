@@ -8,8 +8,6 @@ from repro.analysis.tradeoff import tradeoff_points
 from repro.api import sweep_objects
 from repro.core.cheap import Cheap, CheapSimultaneous
 from repro.core.fast import FastSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
 
 
 class TestTable:

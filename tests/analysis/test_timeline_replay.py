@@ -5,8 +5,7 @@ import pytest
 from repro.analysis.replay import replay, replay_with_timeline
 from repro.analysis.timeline import render_timeline
 from repro.core.fast import FastSimultaneous
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
+from repro.graphs.families import star_graph
 from repro.sim.adversary import Configuration
 from repro.sim.simulator import simulate_rendezvous
 

@@ -7,9 +7,8 @@ import pytest
 from repro.baselines.oracle import OracleBaseline
 from repro.baselines.random_walk import RandomWalkRendezvous
 from repro.baselines.ring_zigzag import RingZigzag, fixed_length_bits
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
 from repro.exploration.dfs import KnownMapDFS
+from repro.graphs.families import oriented_ring, star_graph
 from repro.sim.simulator import simulate_rendezvous
 
 

@@ -6,8 +6,7 @@ import itertools
 from repro.core.ablations import CheapShortWait, FastNoDelimiter, FastNoDoubling
 from repro.core.fast import Fast
 from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
+from repro.graphs.families import star_graph
 from repro.sim.simulator import simulate_rendezvous
 
 

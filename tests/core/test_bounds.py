@@ -1,6 +1,5 @@
 """Tests for the closed-form bound formulas of Section 2."""
 
-from math import comb
 
 import pytest
 from hypothesis import given

@@ -7,8 +7,7 @@ import pytest
 from repro.core.cheap import Cheap, CheapSimultaneous
 from repro.core.schedule import SegmentKind
 from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
+from repro.graphs.families import star_graph
 from repro.sim.simulator import simulate_rendezvous
 
 

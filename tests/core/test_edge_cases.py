@@ -12,9 +12,9 @@ from repro.core import (
 )
 from repro.core.labels import modified_label
 from repro.core.relabeling import smallest_t
+from repro.exploration.dfs import KnownMapDFS
 from repro.exploration.ring import RingExploration
 from repro.graphs.families import oriented_ring, path_graph
-from repro.exploration.dfs import KnownMapDFS
 from repro.sim.simulator import simulate_rendezvous
 
 

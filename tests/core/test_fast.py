@@ -2,14 +2,12 @@
 
 import itertools
 
-import pytest
 
 from repro.core.fast import Fast, FastSimultaneous, delay_tolerant_bits
 from repro.core.labels import modified_label
 from repro.core.schedule import SegmentKind
 from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import full_binary_tree, oriented_ring
+from repro.graphs.families import full_binary_tree
 from repro.sim.simulator import simulate_rendezvous
 
 

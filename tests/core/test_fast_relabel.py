@@ -9,8 +9,6 @@ from repro.core.fast_relabel import (
     FastWithRelabelingSimultaneous,
 )
 from repro.core.relabeling import smallest_t
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
 from repro.sim.simulator import simulate_rendezvous
 
 

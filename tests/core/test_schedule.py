@@ -10,8 +10,6 @@ from repro.core.schedule import (
     schedule_program,
     wait,
 )
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
 from repro.sim.simulator import AgentSpec, Simulator
 
 

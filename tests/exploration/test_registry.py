@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.exploration.registry import KnowledgeModel, best_exploration
 from repro.graphs.families import (
@@ -11,7 +10,6 @@ from repro.graphs.families import (
     path_graph,
     petersen_graph,
     star_graph,
-    torus_grid,
 )
 
 

@@ -15,8 +15,8 @@ from repro.graphs.families import (
     random_connected_graph,
     random_tree,
     ring_with_random_ports,
-    star_graph,
     standard_test_suite,
+    star_graph,
     torus_grid,
 )
 from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE

@@ -5,13 +5,13 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.graphs.conversion import from_networkx, to_networkx
 from repro.graphs.families import (
     oriented_ring,
     random_connected_graph,
     random_tree,
     ring_with_random_ports,
 )
-from repro.graphs.conversion import from_networkx, to_networkx
 from repro.graphs.validation import check_port_graph
 
 

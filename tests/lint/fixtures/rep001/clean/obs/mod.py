@@ -1,0 +1,7 @@
+"""REP001 clean: the same clock reads are legitimate inside obs/."""
+
+import time
+
+
+def elapsed(epoch):
+    return time.perf_counter() - epoch

@@ -1,0 +1,8 @@
+"""REP001 trigger: wall-clock reads outside obs/."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return {"at": time.time(), "day": datetime.now().isoformat()}

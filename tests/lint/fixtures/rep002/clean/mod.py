@@ -1,0 +1,9 @@
+"""REP002 clean: explicitly seeded generators reproduce."""
+
+import random
+
+
+def scramble(items, seed):
+    generator = random.Random(seed)
+    generator.shuffle(items)
+    return items

@@ -1,0 +1,11 @@
+"""REP002 trigger: the shared unseeded generator and entropy sources."""
+
+import random
+from random import shuffle
+
+
+def scramble(items):
+    shuffle(items)
+    generator = random.Random()
+    system = random.SystemRandom()
+    return random.random(), generator, system

@@ -1,0 +1,13 @@
+"""REP003 clean: every scan passes through sorted() (or len())."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def names(directory):
+    found = sorted(os.listdir(directory))
+    found.extend(sorted(glob.glob("*.json")))
+    for path in sorted(Path(directory).iterdir()):
+        found.append(path.name)
+    return found, len(os.listdir(directory))

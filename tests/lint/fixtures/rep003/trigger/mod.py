@@ -1,0 +1,13 @@
+"""REP003 trigger: directory scans iterated in enumeration order."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def names(directory):
+    found = [name for name in os.listdir(directory)]
+    found.extend(glob.glob("*.json"))
+    for path in Path(directory).iterdir():
+        found.append(path.name)
+    return found

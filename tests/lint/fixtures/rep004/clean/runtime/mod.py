@@ -1,0 +1,8 @@
+"""REP004 clean: sets are sorted before anything iterates them."""
+
+
+def labels(rows):
+    seen = [label for label in sorted({r["label"] for r in rows})]
+    for item in sorted(set(rows)):
+        seen.append(item)
+    return seen

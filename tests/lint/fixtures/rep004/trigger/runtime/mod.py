@@ -1,0 +1,8 @@
+"""REP004 trigger: set iteration inside a canonical-report module."""
+
+
+def labels(rows):
+    seen = [row for row in {r["label"] for r in rows}]
+    for item in set(rows):
+        seen.append(item)
+    return seen

@@ -1,0 +1,15 @@
+"""REP010 clean: reads are free; writes route through the primitives."""
+
+import json
+import os
+
+from repro.cluster.files import try_create_json, write_json_atomic
+
+
+def publish(path, payload):
+    write_json_atomic(path, payload)
+    claimed = try_create_json(path.with_suffix(".claim"), payload)
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    os.close(fd)
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle), claimed

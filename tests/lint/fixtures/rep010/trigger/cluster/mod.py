@@ -1,0 +1,12 @@
+"""REP010 trigger: bare writes inside cluster/ can tear under SIGKILL."""
+
+import json
+import os
+
+
+def publish(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    path.with_suffix(".txt").write_text("done")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY)
+    os.close(fd)

@@ -1,0 +1,21 @@
+"""REP020 clean: inert defaults, and the plumbing-helper exemption."""
+
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+
+def run(units, telemetry=NULL_TELEMETRY):
+    return units, telemetry
+
+
+def run_resolved(units, *, telemetry=None):
+    return units, telemetry
+
+
+def emit_progress(telemetry, done, total):
+    # Telemetry-first functions are emission plumbing, not instrumented
+    # computations: no default is required.
+    telemetry.progress("units", done=done, total=total)
+
+
+class Runner:
+    telemetry: Telemetry = NULL_TELEMETRY

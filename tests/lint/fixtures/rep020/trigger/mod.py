@@ -1,0 +1,17 @@
+"""REP020 trigger: live telemetry defaults make observation opt-out."""
+
+from repro.obs.telemetry import Telemetry
+
+LIVE_TELEMETRY = Telemetry()
+
+
+def run(units, telemetry=Telemetry()):
+    return units, telemetry
+
+
+def survey(*, telemetry=Telemetry()):
+    return telemetry
+
+
+class Runner:
+    telemetry: Telemetry = LIVE_TELEMETRY

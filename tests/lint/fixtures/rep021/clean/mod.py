@@ -1,0 +1,8 @@
+"""REP021 clean: bare-statement emission and the span context form."""
+
+
+def run(telemetry, units):
+    telemetry.count("units", len(units))
+    with telemetry.span("run", size=len(units)):
+        total = sum(units)
+    return total

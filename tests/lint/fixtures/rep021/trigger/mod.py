@@ -1,0 +1,11 @@
+"""REP021 trigger: telemetry call values consumed by the computation."""
+
+
+def run(telemetry, units):
+    started = telemetry.elapsed()
+    telemetry.count("units", len(units))
+    return started
+
+
+def relay(tele):
+    return tele.gauge("depth", 3)

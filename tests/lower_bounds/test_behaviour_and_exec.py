@@ -1,6 +1,5 @@
 """Tests for behaviour-vector extraction and the fast ring executor."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

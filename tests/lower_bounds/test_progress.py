@@ -1,6 +1,5 @@
 """Tests for DefineProgress (Algorithm 3) and its invariants."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,6 @@ import pytest
 from repro.core.cheap import CheapSimultaneous
 from repro.core.fast import FastSimultaneous
 from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring
 from repro.lower_bounds.ring_exec import meeting_round
 from repro.lower_bounds.trim import (
     NonMeetingError,

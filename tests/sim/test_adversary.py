@@ -5,7 +5,6 @@ import pytest
 from repro.core import CheapSimultaneous, Fast
 from repro.core.ablations import CheapShortWait
 from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
 from repro.graphs.families import star_graph
 from repro.sim.adversary import (
     Configuration,

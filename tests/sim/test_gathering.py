@@ -7,8 +7,7 @@ import pytest
 from repro.core.cheap import CheapSimultaneous
 from repro.core.fast import FastSimultaneous
 from repro.exploration.dfs import KnownMapDFS
-from repro.exploration.ring import RingExploration
-from repro.graphs.families import oriented_ring, star_graph
+from repro.graphs.families import star_graph
 from repro.graphs.orientation import CLOCKWISE
 from repro.sim.gathering import GatheringSimulator, GatheringSpec, gather
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graphs.families import oriented_ring, path_graph
+from repro.graphs.families import path_graph
 from repro.graphs.orientation import CLOCKWISE, COUNTERCLOCKWISE
 from repro.sim.actions import WAIT
 from repro.sim.simulator import (

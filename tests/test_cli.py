@@ -61,8 +61,8 @@ class TestCommands:
         parallel = capsys.readouterr().out
 
         def rows(output):
-            return [l for l in output.splitlines()
-                    if l.startswith(("time", "cost", "worst"))]
+            return [line for line in output.splitlines()
+                    if line.startswith(("time", "cost", "worst"))]
 
         assert rows(serial) == rows(parallel)
 

@@ -9,8 +9,8 @@ import itertools
 
 import pytest
 
-from repro.api import sweep_objects
 from repro.analysis.tradeoff import tradeoff_points
+from repro.api import sweep_objects
 from repro.core import (
     Cheap,
     CheapSimultaneous,

@@ -2,15 +2,6 @@
 
 import pytest
 
-from repro.registry import (
-    ALGORITHMS,
-    EXPLORATIONS,
-    GRAPH_FAMILIES,
-    KNOWLEDGE_MODELS,
-    PRESENCE_MODELS,
-    Registry,
-    SpecError,
-)
 from repro.exploration.registry import KnowledgeModel
 from repro.graphs.families import (
     complete_graph,
@@ -20,6 +11,15 @@ from repro.graphs.families import (
     petersen_graph,
     star_graph,
     torus_grid,
+)
+from repro.registry import (
+    ALGORITHMS,
+    EXPLORATIONS,
+    GRAPH_FAMILIES,
+    KNOWLEDGE_MODELS,
+    PRESENCE_MODELS,
+    Registry,
+    SpecError,
 )
 from repro.runtime.spec import AlgorithmSpec, GraphSpec, JobSpec
 from repro.runtime.worker import run_shard

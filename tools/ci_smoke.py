@@ -1,6 +1,6 @@
 """CI smoke check for the CLI and the internal-deprecation policy.
 
-Five gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+Six gates, all dependency-free (run with ``python tools/ci_smoke.py``):
 
 1. ``python -m repro --help`` exits 0 in a fresh subprocess;
 2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
@@ -9,7 +9,9 @@ Five gates, all dependency-free (run with ``python tools/ci_smoke.py``):
    catalog (all twelve EXP-NN ids);
 4. ``cluster status --json`` answers with the expected payload shape
    (an empty cluster root is a valid, reportable state);
-5. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+5. ``lint --json`` reports a clean tree under every registered
+   invariant rule (the shipped source must stay ``repro lint`` green);
+6. no ``DeprecationWarning`` originates from inside ``src/repro`` while
    doing so -- deprecation shims, if any ever exist, are for external
    callers only; package-internal code must stay on the current API.
 """
@@ -116,8 +118,19 @@ def check_json_commands() -> None:
         fail(f"unexpected cluster status payload: {status}")
     print("cluster status --json: OK")
 
+    lint_out, lint_warnings = run_cli_capturing(
+        ["lint", "--json", "--no-cache", str(SRC)]
+    )
+    lint = json.loads(lint_out)
+    if lint["result"]["ok"] is not True or lint["result"]["findings"] != []:
+        fail(f"repro lint found violations: {lint['result']['findings']}")
+    if len(lint["lint"]["rules"]) < 7:
+        fail(f"lint rule registry shrank: {lint['lint']['rules']}")
+    print("lint --json: OK")
+
     offenders = internal_deprecations(
         sweep_warnings + run_warnings + list_warnings + status_warnings
+        + lint_warnings
     )
     if offenders:
         lines = "\n".join(
