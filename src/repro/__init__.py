@@ -91,6 +91,8 @@ from repro.runtime import (
     ParallelExecutor,
     RunStore,
     SerialExecutor,
+    SqliteBackend,
+    StoreBackend,
     execute_job,
 )
 from repro.sim import (
@@ -101,7 +103,7 @@ from repro.sim import (
     worst_case_search,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -146,6 +148,8 @@ __all__ = [
     "SerialExecutor",
     "Simulator",
     "SpecError",
+    "SqliteBackend",
+    "StoreBackend",
     "Sweep",
     "SweepRow",
     "SweepRun",

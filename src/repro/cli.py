@@ -9,7 +9,16 @@ Commands:
   running schedule-driven algorithms on the vectorized batch engine when
   NumPy is installed and on the compiled trajectory engine otherwise;
   completed shards are cached in ``.repro_cache/`` unless ``--no-cache``
-  is given, so reruns and interrupted sweeps resume);
+  is given, so reruns and interrupted sweeps resume;
+  ``--cache-backend`` picks the store format -- ``jsonl`` files or the
+  indexed ``sqlite`` warehouse -- with byte-identical reports either way);
+* ``query`` -- answer worst-case questions from stored runs without
+  re-sweeping: filter the run store by algorithm, graph family, engine
+  and label space, and print each matching sweep's merged extremes
+  (canonical JSON with ``--json``);
+* ``cache`` -- maintain the run store: ``clear`` deletes every stored
+  run (reporting per-backend file counts), ``compact`` folds torn lines
+  and duplicate records out of damaged store files;
 * ``certify`` -- run a lower-bound certificate (Theorem 3.1 or 3.2);
 * ``explore`` -- print the exploration budgets ``E`` for the built-in
   graph families under each knowledge model;
@@ -106,7 +115,13 @@ from repro.obs.sinks import JsonlSink, ProgressSink, combine
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.registry import ALGORITHMS, EXPERIMENTS, GRAPH_FAMILIES, SpecError
 from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
-from repro.runtime.store import DEFAULT_CACHE_DIR
+from repro.runtime.store import (
+    BACKENDS,
+    DEFAULT_CACHE_DIR,
+    query_payload,
+    render_query_lines,
+    resolve_backend,
+)
 
 
 def graph_spec(name: str, size: int) -> GraphSpec:
@@ -283,13 +298,19 @@ def command_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("--engine serial runs in-process; --workers contradicts it")
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache contradicts --cache-dir")
+    if args.no_cache and args.cache_backend is not None:
+        raise SystemExit("--no-cache contradicts --cache-backend")
     simultaneous = getattr(
         ALGORITHMS.entry(args.algorithm).target, "requires_simultaneous_start", False
     )
     delays = (0,) if simultaneous else tuple(args.delays)
     scenario = scenario_from_args(args, delays=delays)
     graph = _from_flags(scenario.build_graph)
-    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    store = (
+        None
+        if args.no_cache
+        else resolve_store(True, args.cache_dir, args.cache_backend)
+    )
     with cli_telemetry(args) as tele:
         run = scenario.run(
             engine=args.engine,
@@ -453,9 +474,15 @@ def command_experiments_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache contradicts --cache-dir")
+    if args.no_cache and args.cache_backend is not None:
+        raise SystemExit("--no-cache contradicts --cache-backend")
     for experiment_id in args.ids:
         EXPERIMENTS.entry(experiment_id)  # SpecError lists the choices
-    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    store = (
+        None
+        if args.no_cache
+        else resolve_store(True, args.cache_dir, args.cache_backend)
+    )
     with cli_telemetry(args) as tele:
         campaign = Campaign(
             experiments=args.ids or None,
@@ -579,13 +606,19 @@ def command_cluster_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache contradicts --cache-dir")
+    if args.no_cache and args.cache_backend is not None:
+        raise SystemExit("--no-cache contradicts --cache-backend")
     simultaneous = getattr(
         ALGORITHMS.entry(args.algorithm).target, "requires_simultaneous_start", False
     )
     delays = (0,) if simultaneous else tuple(args.delays)
     scenario = scenario_from_args(args, delays=delays)
     graph = _from_flags(scenario.build_graph)
-    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    store = (
+        None
+        if args.no_cache
+        else resolve_store(True, args.cache_dir, args.cache_backend)
+    )
     with cli_telemetry(args) as tele:
         executor = ClusterExecutor(
             _cluster_config(args, args.cluster_workers), telemetry=tele
@@ -630,6 +663,8 @@ def command_cluster_run(args: argparse.Namespace) -> int:
 def command_cluster_coordinator(args: argparse.Namespace) -> int:
     if args.no_cache and args.cache_dir is not None:
         raise SystemExit("--no-cache contradicts --cache-dir")
+    if args.no_cache and args.cache_backend is not None:
+        raise SystemExit("--no-cache contradicts --cache-backend")
     root = args.root if args.root is not None else DEFAULT_CLUSTER_ROOT
     queue = ShardQueue(Path(root) / args.run_id)
     try:
@@ -644,7 +679,11 @@ def command_cluster_coordinator(args: argparse.Namespace) -> int:
     spec = JobSpec.from_dict(job["spec"])
     shards = args.shards if args.shards is not None else job.get("shard_count")
     graph_name = job.get("graph_name")
-    store = None if args.no_cache else resolve_store(True, args.cache_dir)
+    store = (
+        None
+        if args.no_cache
+        else resolve_store(True, args.cache_dir, args.cache_backend)
+    )
     with cli_telemetry(args) as tele:
         executor = ClusterExecutor(
             _cluster_config(args, args.cluster_workers), telemetry=tele
@@ -705,6 +744,71 @@ def command_cluster_status(args: argparse.Namespace) -> int:
         print(canonical_json(payload))
         return 0
     print_lines(render_status(payload))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Run-store commands: query the warehouse, clear/compact the cache
+# ----------------------------------------------------------------------
+
+
+def _store_from_args(args: argparse.Namespace):
+    root = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    return resolve_backend(args.cache_backend, root)
+
+
+def command_query(args: argparse.Namespace) -> int:
+    """Answer a worst-case lookup from stored runs -- no re-sweeping.
+
+    The payload is canonical: two stores warehousing the same sweeps
+    answer byte-identically whichever backend holds them.
+    """
+    store = _store_from_args(args)
+    payload = query_payload(
+        store,
+        algorithm=args.algorithm,
+        graph=args.graph,
+        engine=args.engine,
+        label_space=args.label_space,
+    )
+    if args.json:
+        print(canonical_json(payload))
+        return 0
+    print_lines(render_query_lines(payload))
+    return 0
+
+
+def command_cache_clear(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    counts = store.clear()
+    total = sum(counts.values())
+    if args.json:
+        print(canonical_json({
+            "root": str(store.root),
+            "removed": counts,
+            "total": total,
+        }))
+        return 0
+    print(f"cleared {total} run file(s) under {store.root / 'runs'} "
+          f"({counts['jsonl']} jsonl, {counts['sqlite']} sqlite)")
+    return 0
+
+
+def command_cache_compact(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    stats = store.compact()
+    if args.json:
+        print(canonical_json({
+            "root": str(store.root),
+            "backend": store.kind,
+            "compaction": stats.to_dict(),
+        }))
+        return 0
+    print(f"compacted {stats.files} file(s) under {store.root / 'runs'} "
+          f"({store.kind}): {stats.rewritten} rewritten, "
+          f"{stats.torn_lines} torn line(s), "
+          f"{stats.duplicate_headers} duplicate header(s), "
+          f"{stats.duplicate_shards} duplicate shard(s) folded")
     return 0
 
 
@@ -795,6 +899,13 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--weight", type=int, default=2,
                        help="w for FastWithRelabeling (default 2)")
 
+    def backend_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-backend", default=None,
+                       choices=sorted(BACKENDS),
+                       help="run-store backend (default jsonl; sqlite "
+                            "selects the indexed results warehouse -- "
+                            "reports are byte-identical either way)")
+
     run_parser = sub.add_parser("run", help="simulate one rendezvous",
                                 parents=[obs_flags])
     common(run_parser)
@@ -829,6 +940,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(no_cache=False)
     sweep_parser.add_argument("--cache-dir", default=None,
                               help=f"run-store directory (default {DEFAULT_CACHE_DIR})")
+    backend_flag(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true",
                               help="emit the canonical JSON report instead of tables")
     sweep_parser.set_defaults(func=command_sweep)
@@ -933,6 +1045,7 @@ def make_parser() -> argparse.ArgumentParser:
     exp_run_parser.add_argument("--cache-dir", default=None,
                                 help=f"run-store directory (default "
                                      f"{DEFAULT_CACHE_DIR})")
+    backend_flag(exp_run_parser)
     exp_run_parser.add_argument("--report-dir", default=None,
                                 help=f"where per-experiment JSON reports land "
                                      f"(default {DEFAULT_REPORT_DIR})")
@@ -1014,6 +1127,7 @@ def make_parser() -> argparse.ArgumentParser:
         p.set_defaults(no_cache=False)
         p.add_argument("--cache-dir", default=None,
                        help=f"run-store directory (default {DEFAULT_CACHE_DIR})")
+        backend_flag(p)
 
     cluster_run_parser = cluster_sub.add_parser(
         "run", parents=[obs_flags],
@@ -1114,6 +1228,59 @@ def make_parser() -> argparse.ArgumentParser:
                                             f"(default {DEFAULT_CLUSTER_ROOT})")
     cluster_status_parser.add_argument("--json", action="store_true")
     cluster_status_parser.set_defaults(func=command_cluster_status)
+
+    query_parser = sub.add_parser(
+        "query",
+        help="answer worst-case questions from stored runs (no re-sweeping)",
+    )
+    query_parser.add_argument("--algorithm", default=None,
+                              help="filter on the algorithm name "
+                                   f"({'|'.join(ALGORITHMS.names())})")
+    query_parser.add_argument("--graph", default=None,
+                              help="filter on the graph family, e.g. ring")
+    query_parser.add_argument("--engine", default=None,
+                              choices=["reactive", "compiled", "batch"],
+                              help="filter on the simulation engine the "
+                                   "sweep recorded")
+    query_parser.add_argument("--label-space", type=int, default=None,
+                              help="filter on the label-space size L")
+    query_parser.add_argument("--cache-dir", default=None,
+                              help=f"run-store directory (default "
+                                   f"{DEFAULT_CACHE_DIR})")
+    backend_flag(query_parser)
+    query_parser.add_argument("--json", action="store_true",
+                              help="emit the canonical JSON answer "
+                                   "(byte-identical across backends)")
+    query_parser.set_defaults(func=command_query)
+
+    cache_parser = sub.add_parser(
+        "cache", help="maintain the run store (clear, compact)"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+
+    cache_clear_parser = cache_sub.add_parser(
+        "clear",
+        help="delete every stored run, whichever backend wrote it, and "
+             "report per-backend file counts",
+    )
+    cache_clear_parser.add_argument("--cache-dir", default=None,
+                                    help=f"run-store directory (default "
+                                         f"{DEFAULT_CACHE_DIR})")
+    backend_flag(cache_clear_parser)
+    cache_clear_parser.add_argument("--json", action="store_true")
+    cache_clear_parser.set_defaults(func=command_cache_clear)
+
+    cache_compact_parser = cache_sub.add_parser(
+        "compact",
+        help="fold torn lines and duplicate records out of damaged store "
+             "files (healthy files are untouched)",
+    )
+    cache_compact_parser.add_argument("--cache-dir", default=None,
+                                      help=f"run-store directory (default "
+                                           f"{DEFAULT_CACHE_DIR})")
+    backend_flag(cache_compact_parser)
+    cache_compact_parser.add_argument("--json", action="store_true")
+    cache_compact_parser.set_defaults(func=command_cache_compact)
 
     return parser
 

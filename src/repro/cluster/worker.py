@@ -8,6 +8,12 @@ the worker exits on its own once every published shard has a result.
 Killing a worker at *any* instruction loses nothing -- its lease expires
 and a survivor re-executes the shard to the identical report.
 
+Workers never touch the run store: results travel through the queue's
+result files, and the coordinating ``execute_job`` appends them to its
+resolved :class:`repro.runtime.store.StoreBackend` (JSONL or the SQLite
+warehouse) as they arrive.  Backend choice is therefore invisible here
+-- a worker behaves identically whichever warehouse the run feeds.
+
 While a shard executes (which can take arbitrarily long), a daemon
 :class:`LeaseKeeper` thread renews the shard lease and beats the
 heartbeat file every ``ttl / 3`` seconds, so a *live* worker is never

@@ -37,6 +37,12 @@ partial documents):
   ``os.open`` with ``O_CREAT`` but no ``O_EXCL``) can tear under kill
   schedules.  Mirrors the SIGKILL kill-matrix suite in
   ``tests/cluster/``.
+* ``REP011`` -- outside ``runtime/store/``, no ``sqlite3`` imports and
+  no file writes naming the store's on-disk formats (``.jsonl`` /
+  ``.sqlite`` paths): the run store's bytes have exactly one writer,
+  the backend layer, so its append-atomicity and first-write-claim
+  guarantees cannot be bypassed.  Mirrors the cross-backend
+  byte-identity suites in ``tests/runtime/test_store_backends.py``.
 
 **Inertness** (telemetry observes, never influences):
 
@@ -448,6 +454,106 @@ class BareWriteRule(Rule):
                     )
 
 
+def _constant_strings(node: ast.AST) -> Iterator[str]:
+    """Every string constant anywhere inside the expression."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            yield child.value
+
+
+@LINT_RULES.register(
+    "REP011",
+    family="atomicity",
+    mirrors="cross-backend byte-identity suites "
+            "(tests/runtime/test_store_backends.py)",
+)
+class StoreBoundaryRule(Rule):
+    id = "REP011"
+    summary = "run-store bytes are written only by the runtime/store/ backends"
+
+    _ADVICE = (
+        "; the run store's on-disk formats belong to the "
+        "repro.runtime.store backends (RunStore / SqliteBackend) -- their "
+        "append-atomicity and first-write-claim guarantees only hold "
+        "while they are the store root's single writer"
+    )
+
+    _SUFFIXES = (".jsonl", ".sqlite")
+
+    def _store_write_label(
+        self, node: ast.Call, table: dict[str, str]
+    ) -> "str | None":
+        """How this call writes a store-format file, or ``None``."""
+        resolved = resolve_dotted(node.func, table)
+        writes = False
+        label = ""
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            writes = _write_mode(node, mode_position=1) is not None
+            label = "open()"
+        elif isinstance(node.func, ast.Attribute) and resolved is None:
+            if node.func.attr == "open":
+                writes = _write_mode(node, mode_position=0) is not None
+                label = ".open()"
+            elif node.func.attr in ("write_text", "write_bytes"):
+                writes = True
+                label = f".{node.func.attr}()"
+        elif resolved == "os.open" and len(node.args) >= 2:
+            flags = _flag_names(node.args[1])
+            writes = bool(
+                {"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT"} & flags
+            )
+            label = "os.open()"
+        if not writes:
+            return None
+        for value in _constant_strings(node):
+            for suffix in self._SUFFIXES:
+                if suffix in value:
+                    return f"{label} on a {suffix} path"
+        return None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.in_dir("store"):
+            return
+        table = import_table(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name == "sqlite3"
+                    or alias.name.startswith("sqlite3.")
+                    for alias in node.names
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "importing sqlite3 outside runtime/store/ bypasses "
+                        "the warehouse backend" + self._ADVICE,
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if (
+                    not node.level
+                    and node.module
+                    and (
+                        node.module == "sqlite3"
+                        or node.module.startswith("sqlite3.")
+                    )
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "importing sqlite3 outside runtime/store/ bypasses "
+                        "the warehouse backend" + self._ADVICE,
+                    )
+            elif isinstance(node, ast.Call):
+                label = self._store_write_label(node, table)
+                if label is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{label} writes run-store bytes outside "
+                        "runtime/store/" + self._ADVICE,
+                    )
+
+
 # ----------------------------------------------------------------------
 # Inertness
 # ----------------------------------------------------------------------
@@ -590,6 +696,7 @@ __all__ = [
     "RANDOM_MODULE_FNS",
     "Rule",
     "SetIterationRule",
+    "StoreBoundaryRule",
     "TELEMETRY_METHODS",
     "TelemetryDefaultRule",
     "TelemetryFlowRule",

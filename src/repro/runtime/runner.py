@@ -5,6 +5,9 @@ plans shard bounds from the configuration-space size, looks completed
 shards up in the run store (if one is given), hands only the missing
 shards to the executor, persists each fresh report as it arrives, and
 merges everything into one deterministic report with cache statistics.
+The store is any :class:`repro.runtime.store.StoreBackend` -- JSONL
+files or the SQLite warehouse -- and the merged report is byte-identical
+whichever backend (or none) served the cached shards.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.runtime.executor import Executor, SerialExecutor, plan_shards
 from repro.runtime.report import MergedReport, ShardReport, merge_reports
 from repro.runtime.spec import JobSpec
-from repro.runtime.store import RunStore
+from repro.runtime.store import StoreBackend
 
 
 @dataclass(frozen=True)
@@ -67,7 +70,7 @@ def _emit_shard(telemetry: Telemetry, report: ShardReport, cached: bool) -> None
 def execute_job(
     spec: JobSpec,
     executor: Executor | None = None,
-    store: RunStore | None = None,
+    store: StoreBackend | None = None,
     shard_count: int | None = None,
     shard_size: int | None = None,
     graph: PortLabeledGraph | None = None,

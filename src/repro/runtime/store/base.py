@@ -1,0 +1,169 @@
+"""Backend protocol and shared machinery for the run store.
+
+A *store backend* persists completed shards keyed by the content hash
+of their sweep spec.  Two implementations ship: the append-only JSONL
+directory (:mod:`repro.runtime.store.jsonl`, the historical format) and
+an indexed SQLite warehouse (:mod:`repro.runtime.store.sqlite`).  Both
+answer the same five questions -- where does a spec live (``path_for``),
+what shards are done (``load``), record one more (``append``), what
+sweeps exist (``iter_runs``), and fold accumulated damage
+(``compact``) -- so every layer above (the executor, campaigns, the
+cluster coordinator, the CLI) stays backend-agnostic.
+
+The invariant the backends must uphold is the repo's crown jewel: a
+run resumed from either backend produces a canonical report that is
+byte-identical to a cold run, for every engine and worker count.  The
+backends may differ in layout, ordering and durability strategy, but
+never in the reports they replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.runtime.report import ShardReport
+from repro.runtime.spec import JobSpec
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Bumped to 2 when shard records gained the optional ``timing`` section
+#: (readers tolerate its absence, but the filename isolation keeps record
+#: formats from mixing within one file).
+_FORMAT_VERSION = 2
+
+
+def _library_version() -> str:
+    # Imported lazily: repro/__init__ imports this package.
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One stored sweep: its identity, spec, and completed shards.
+
+    Yielded by :meth:`StoreBackend.iter_runs`; the query layer merges
+    ``shards`` into a canonical report without re-executing anything.
+    """
+
+    sweep_key: str
+    library: str
+    format: int
+    spec: dict[str, Any]
+    shards: dict[tuple[int, int], ShardReport] = field(default_factory=dict)
+
+    @property
+    def algorithm(self) -> str:
+        return self.spec["algorithm"]["name"]
+
+    @property
+    def graph_family(self) -> str:
+        return self.spec["graph"]["family"]
+
+    @property
+    def engine(self) -> str:
+        return self.spec.get("engine", "reactive")
+
+    @property
+    def label_space(self) -> int:
+        return self.spec["algorithm"]["label_space"]
+
+
+@dataclass
+class CompactionStats:
+    """What :meth:`StoreBackend.compact` scanned and repaired."""
+
+    files: int = 0
+    rewritten: int = 0
+    torn_lines: int = 0
+    duplicate_headers: int = 0
+    duplicate_shards: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "files": self.files,
+            "rewritten": self.rewritten,
+            "torn_lines": self.torn_lines,
+            "duplicate_headers": self.duplicate_headers,
+            "duplicate_shards": self.duplicate_shards,
+        }
+
+
+class StoreBackend:
+    """Base class every run-store backend extends.
+
+    Subclasses set :attr:`kind` (the name ``resolve_backend`` and the
+    CLI's ``--cache-backend`` flag use) and implement ``path_for`` /
+    ``load`` / ``append`` / ``iter_runs`` / ``compact``.  ``clear`` is
+    shared: eviction removes *every* backend's files under ``runs/`` so
+    switching backends never strands the other format's data, and the
+    per-backend counts are reported instead of a bare total.
+    """
+
+    #: Backend name, e.g. ``"jsonl"`` or ``"sqlite"``.
+    kind: str = ""
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """The on-disk file holding the given spec's sweep."""
+        raise NotImplementedError
+
+    def load(
+        self, spec: JobSpec, telemetry: Telemetry = NULL_TELEMETRY
+    ) -> dict[tuple[int, int], ShardReport]:
+        """All completed shards of the spec's sweep, keyed by bounds."""
+        raise NotImplementedError
+
+    def append(self, spec: JobSpec, report: ShardReport) -> None:
+        """Persist one completed shard (recording the spec on first use)."""
+        raise NotImplementedError
+
+    def iter_runs(
+        self,
+        *,
+        algorithm: str | None = None,
+        graph_family: str | None = None,
+        engine: str | None = None,
+    ) -> Iterator[StoredRun]:
+        """Every stored sweep matching the filters, in a stable order."""
+        raise NotImplementedError
+
+    def compact(self) -> CompactionStats:
+        """Fold accumulated damage (torn lines, duplicate records)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> dict[str, int]:
+        """Delete every stored run; returns removal counts per backend.
+
+        Removes both formats regardless of which backend ``self`` is:
+        ``runs/*.jsonl`` (the JSONL backend's sweep files) and
+        ``runs/*.sqlite*`` (the warehouse database plus any WAL/journal
+        siblings), so ``clear()`` after a backend switch cannot silently
+        leave the other format's bytes serving stale results.
+        """
+        runs = self.root / "runs"
+        counts = {"jsonl": 0, "sqlite": 0}
+        if not runs.exists():
+            return counts
+        for path in sorted(runs.glob("*.jsonl")):
+            path.unlink()
+            counts["jsonl"] += 1
+        for path in sorted(runs.glob("*.sqlite*")):
+            path.unlink()
+            counts["sqlite"] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(root={str(self.root)!r})"

@@ -1,0 +1,128 @@
+"""Answer worst-case and tradeoff questions from stored runs.
+
+The store already holds every completed shard of every sweep; this
+module turns that warehouse into answers without re-executing anything:
+filter the stored sweeps (:func:`query_runs`), merge each one's shards
+with the same :func:`repro.runtime.report.merge_reports` a live run
+uses, and report the merged extremes.  Because the merge discards the
+non-canonical ``timing`` section and the entries are sorted by content
+key, the same warehouse contents produce byte-identical query payloads
+whichever backend stored them -- the crown-jewel invariant, extended to
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.report import merge_reports
+from repro.runtime.spec import canonical_json
+from repro.runtime.store.base import StoreBackend
+
+
+def query_runs(
+    store: StoreBackend,
+    *,
+    algorithm: str | None = None,
+    graph: str | None = None,
+    engine: str | None = None,
+    label_space: int | None = None,
+) -> list[dict[str, Any]]:
+    """Stored sweeps matching the filters, each merged to its extremes.
+
+    ``graph`` filters on the graph family (``ring``, ``path``, ...);
+    ``label_space`` on the algorithm's label-space size.  Sweeps with no
+    completed shards yet (a header and nothing else) are skipped: they
+    have no extremes to report.  Entries come back sorted by
+    (sweep_key, library, format), so the listing is stable across
+    backends and insertion orders.
+    """
+    entries: list[dict[str, Any]] = []
+    for run in store.iter_runs(
+        algorithm=algorithm, graph_family=graph, engine=engine
+    ):
+        if label_space is not None and run.label_space != label_space:
+            continue
+        if not run.shards:
+            continue
+        merged = merge_reports(run.shards.values())
+        entries.append(
+            {
+                "sweep_key": run.sweep_key,
+                "library": run.library,
+                "format": run.format,
+                "algorithm": run.algorithm,
+                "graph": run.spec["graph"],
+                "engine": run.engine,
+                "label_space": run.label_space,
+                "spec": run.spec,
+                "result": merged.to_dict(),
+            }
+        )
+    entries.sort(key=lambda e: (e["sweep_key"], e["library"], e["format"]))
+    return entries
+
+
+def query_payload(
+    store: StoreBackend,
+    *,
+    algorithm: str | None = None,
+    graph: str | None = None,
+    engine: str | None = None,
+    label_space: int | None = None,
+) -> dict[str, Any]:
+    """The canonical query answer: the filters asked, the runs found.
+
+    Deliberately omits the backend kind and store root: the payload
+    describes the stored computations, not the bytes holding them, so
+    two backends warehousing the same sweeps answer identically.
+    """
+    runs = query_runs(
+        store,
+        algorithm=algorithm,
+        graph=graph,
+        engine=engine,
+        label_space=label_space,
+    )
+    return {
+        "query": {
+            "algorithm": algorithm,
+            "graph": graph,
+            "engine": engine,
+            "label_space": label_space,
+        },
+        "result": {"count": len(runs), "runs": runs},
+    }
+
+
+def render_query_lines(payload: dict[str, Any]) -> list[str]:
+    """Human-readable lines for a :func:`query_payload` answer."""
+    runs = payload["result"]["runs"]
+    lines = [f"{len(runs)} stored run(s) match"]
+    for entry in runs:
+        graph = entry["graph"]
+        params = ",".join(f"{k}={v}" for k, v in sorted(graph["params"].items()))
+        result = entry["result"]
+        worst_time = result["worst_time"]
+        worst_cost = result["worst_cost"]
+        extremes = (
+            "no successful execution"
+            if worst_time is None
+            else (
+                f"worst time {worst_time['time']}"
+                f" worst cost {worst_cost['cost']}"
+            )
+        )
+        lines.append(
+            f"  {entry['algorithm']} on {graph['family']}({params})"
+            f" L={entry['label_space']} engine={entry['engine']}:"
+            f" {result['executions']} executions over"
+            f" {result['shards']} shard(s); {extremes}"
+            f" [{entry['sweep_key'][:12]}]"
+        )
+    return lines
+
+
+def query_json(payload: dict[str, Any]) -> str:
+    """The payload as canonical JSON (sorted keys, no whitespace)."""
+    return canonical_json(payload)

@@ -1,0 +1,258 @@
+"""The SQLite warehouse backend: one indexed database for every sweep.
+
+Layout (under ``.repro_cache/`` by default)::
+
+    .repro_cache/
+      runs/
+        warehouse.sqlite      every sweep, in two tables
+
+The ``runs`` table holds one row per sweep -- keyed by (spec hash,
+library version, record-format version), exactly the triple the JSONL
+backend spells in a filename -- with the dimensions queries filter on
+(algorithm, graph family, graph label, engine, label space) denormalized
+into indexed columns.  The ``shards`` table holds one row per completed
+shard.  Both writes go through ``INSERT OR IGNORE`` under the primary
+key, so the first-append race the JSONL backend solves with ``O_EXCL``
+does not exist here: two concurrent first appenders insert the same
+``runs`` row and the second insert is a no-op.
+
+Durability is SQLite's, not ``O_APPEND``'s: a process killed mid-append
+rolls back to the last committed shard, so there are no torn lines to
+skip and :meth:`SqliteBackend.compact` has almost nothing to fold.
+Connections are opened per operation (with a generous busy timeout), so
+a backend instance can cross ``fork()`` into worker processes safely.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.runtime.report import ShardReport
+from repro.runtime.spec import GraphSpec, JobSpec, canonical_json
+from repro.runtime.store.base import (
+    _FORMAT_VERSION,
+    CompactionStats,
+    StoreBackend,
+    StoredRun,
+    _library_version,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    sweep_key    TEXT    NOT NULL,
+    library      TEXT    NOT NULL,
+    format       INTEGER NOT NULL,
+    algorithm    TEXT    NOT NULL,
+    graph_family TEXT    NOT NULL,
+    graph_label  TEXT    NOT NULL,
+    engine       TEXT    NOT NULL,
+    label_space  INTEGER,
+    spec         TEXT    NOT NULL,
+    PRIMARY KEY (sweep_key, library, format)
+);
+CREATE INDEX IF NOT EXISTS runs_by_dimension
+    ON runs (algorithm, graph_family, engine, library);
+CREATE TABLE IF NOT EXISTS shards (
+    sweep_key TEXT    NOT NULL,
+    library   TEXT    NOT NULL,
+    format    INTEGER NOT NULL,
+    lo        INTEGER NOT NULL,
+    hi        INTEGER NOT NULL,
+    report    TEXT    NOT NULL,
+    PRIMARY KEY (sweep_key, library, format, lo, hi)
+);
+"""
+
+
+class SqliteBackend(StoreBackend):
+    """An indexed warehouse of completed shards in a single database."""
+
+    kind = "sqlite"
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, spec: JobSpec) -> Path:
+        """The warehouse database (shared by every sweep).
+
+        Unlike the JSONL backend there is no per-sweep file: the (spec
+        hash, library, format) triple that names a JSONL file is the
+        ``runs`` primary key instead, preserving the same isolation --
+        results computed by different code never serve each other.
+        """
+        return self._db_path()
+
+    def _connect(self) -> sqlite3.Connection:
+        db = self._db_path()
+        db.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(str(db), timeout=10.0)
+        connection.execute("PRAGMA busy_timeout = 10000")
+        connection.executescript(_SCHEMA)
+        return connection
+
+    def _db_path(self) -> Path:
+        return self.root / "runs" / "warehouse.sqlite"
+
+    @staticmethod
+    def _key(spec: JobSpec) -> tuple[str, str, int]:
+        return (spec.sweep_key(), _library_version(), _FORMAT_VERSION)
+
+    def load(
+        self, spec: JobSpec, telemetry: Telemetry = NULL_TELEMETRY
+    ) -> dict[tuple[int, int], ShardReport]:
+        """All completed shards of the spec's sweep, keyed by shard bounds.
+
+        SQLite's transactional writes mean there is no torn-line path
+        here: an interrupted append rolls back whole, so (unlike the
+        JSONL backend) ``load`` never warns and never re-executes shards
+        it once stored.  The ``telemetry`` parameter is accepted for
+        interface parity.
+        """
+        if not self._db_path().exists():
+            return {}
+        shards: dict[tuple[int, int], ShardReport] = {}
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT report FROM shards"
+                " WHERE sweep_key = ? AND library = ? AND format = ?"
+                " ORDER BY lo, hi",
+                self._key(spec),
+            ).fetchall()
+        finally:
+            connection.close()
+        for (payload,) in rows:
+            report = ShardReport.from_dict(json.loads(payload))
+            shards[report.shard] = report
+        return shards
+
+    def append(self, spec: JobSpec, report: ShardReport) -> None:
+        """Persist one completed shard (registering the sweep on first use).
+
+        Both inserts are ``INSERT OR IGNORE`` under the primary key and
+        share one transaction: concurrent first appenders race benignly
+        (one row wins, the rest are no-ops) and a crash between the two
+        inserts rolls both back.
+        """
+        sweep = spec.sweep_spec().to_dict()
+        graph = GraphSpec.from_dict(sweep["graph"])
+        key = self._key(spec)
+        connection = self._connect()
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT OR IGNORE INTO runs"
+                    " (sweep_key, library, format, algorithm, graph_family,"
+                    "  graph_label, engine, label_space, spec)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    key
+                    + (
+                        sweep["algorithm"]["name"],
+                        graph.family,
+                        graph.label,
+                        sweep.get("engine", "reactive"),
+                        sweep["algorithm"]["label_space"],
+                        canonical_json(sweep),
+                    ),
+                )
+                lo, hi = report.shard
+                connection.execute(
+                    "INSERT OR IGNORE INTO shards"
+                    " (sweep_key, library, format, lo, hi, report)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    key + (lo, hi, canonical_json(report.to_dict())),
+                )
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+
+    def iter_runs(
+        self,
+        *,
+        algorithm: str | None = None,
+        graph_family: str | None = None,
+        engine: str | None = None,
+    ) -> Iterator[StoredRun]:
+        """Every stored sweep matching the filters, sorted by key.
+
+        The filters push down to SQL (served by the dimension index);
+        ordering is by the (sweep_key, library, format) primary key,
+        which matches the JSONL backend's filename sort, so the two
+        backends enumerate identical warehouses identically.
+        """
+        if not self._db_path().exists():
+            return
+        conditions = ["1 = 1"]
+        parameters: list[Any] = []
+        for column, value in (
+            ("algorithm", algorithm),
+            ("graph_family", graph_family),
+            ("engine", engine),
+        ):
+            if value is not None:
+                conditions.append(f"{column} = ?")
+                parameters.append(value)
+        connection = self._connect()
+        try:
+            rows = connection.execute(
+                "SELECT sweep_key, library, format, spec FROM runs"
+                f" WHERE {' AND '.join(conditions)}"
+                " ORDER BY sweep_key, library, format",
+                parameters,
+            ).fetchall()
+            for sweep_key, library, fmt, spec_text in rows:
+                shard_rows = connection.execute(
+                    "SELECT report FROM shards"
+                    " WHERE sweep_key = ? AND library = ? AND format = ?"
+                    " ORDER BY lo, hi",
+                    (sweep_key, library, fmt),
+                ).fetchall()
+                shards: dict[tuple[int, int], ShardReport] = {}
+                for (payload,) in shard_rows:
+                    report = ShardReport.from_dict(json.loads(payload))
+                    shards[report.shard] = report
+                yield StoredRun(
+                    sweep_key=sweep_key,
+                    library=library,
+                    format=fmt,
+                    spec=json.loads(spec_text),
+                    shards=shards,
+                )
+        finally:
+            connection.close()
+
+    def compact(self) -> CompactionStats:
+        """Drop orphaned shard rows and reclaim free pages.
+
+        Transactions make the JSONL failure modes (torn lines, duplicate
+        headers, duplicate shards) unrepresentable here, so compaction
+        only removes ``shards`` rows whose ``runs`` row is gone -- a
+        state no shipped writer produces, covered for forensic edits --
+        and ``VACUUM``\\ s when it changed anything.
+        """
+        stats = CompactionStats()
+        if not self._db_path().exists():
+            return stats
+        stats.files = 1
+        connection = self._connect()
+        try:
+            with connection:
+                cursor = connection.execute(
+                    "DELETE FROM shards WHERE NOT EXISTS ("
+                    " SELECT 1 FROM runs"
+                    " WHERE runs.sweep_key = shards.sweep_key"
+                    " AND runs.library = shards.library"
+                    " AND runs.format = shards.format)"
+                )
+                orphans = cursor.rowcount
+            if orphans:
+                stats.rewritten = 1
+                stats.duplicate_shards = orphans
+                connection.execute("VACUUM")
+        finally:
+            connection.close()
+        return stats

@@ -1,0 +1,20 @@
+"""REP011 clean: inside a store/ directory the backends own the bytes.
+
+Reading store files elsewhere stays free, too -- only writes and
+``sqlite3`` imports mark a module as a second store writer.
+"""
+
+import json
+import sqlite3
+
+
+def append(root, record):
+    connection = sqlite3.connect(root / "runs" / "warehouse.sqlite")
+    with open(root / "runs" / "deadbeef.jsonl", "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+    return connection
+
+
+def read_elsewhere(path):
+    with open(path / "deadbeef.jsonl", encoding="utf-8") as handle:
+        return json.load(handle)

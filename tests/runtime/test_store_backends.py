@@ -1,0 +1,371 @@
+"""Both store backends, one contract: caching, races, compaction, queries.
+
+The suite parametrizes over ``resolve_backend`` names so every assertion
+here is a statement about the :class:`~repro.runtime.store.StoreBackend`
+protocol, not about one implementation -- and the byte-identity tests
+pin the crown jewel across the backend axis: whichever backend serves
+the cached shards, the merged canonical report does not change by a
+byte.
+"""
+
+import json
+import sqlite3
+import threading
+import warnings
+
+import pytest
+
+from repro.runtime import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    JsonlBackend,
+    ParallelExecutor,
+    SerialExecutor,
+    SqliteBackend,
+    canonical_json,
+    execute_job,
+    plan_shards,
+    query_payload,
+    query_runs,
+    resolve_backend,
+    run_shard,
+)
+
+BACKEND_NAMES = ["jsonl", "sqlite"]
+
+
+def small_job(**overrides):
+    defaults = dict(
+        algorithm=AlgorithmSpec("fast", 3),
+        graph=GraphSpec.make("ring", n=6),
+        delays=(0, 1),
+        fix_first_start=True,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class CountingExecutor(SerialExecutor):
+    """A serial executor that records how many shards it actually ran."""
+
+    def __init__(self):
+        self.shards_run = 0
+
+    def map_shards(self, specs):
+        for spec in specs:
+            self.shards_run += 1
+            yield run_shard(spec)
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request, tmp_path):
+    return resolve_backend(request.param, tmp_path / request.param)
+
+
+class TestBackendContract:
+    def test_second_run_is_fully_cached(self, backend):
+        job = small_job()
+        first = execute_job(job, store=backend)
+        assert first.stats.shards_executed == first.stats.shards_total > 0
+
+        counting = CountingExecutor()
+        second = execute_job(job, executor=counting, store=backend)
+        assert counting.shards_run == 0
+        assert second.stats.fully_cached
+        assert canonical_json(second.report.to_dict()) == canonical_json(
+            first.report.to_dict()
+        )
+
+    def test_load_of_an_empty_store_creates_nothing(self, backend):
+        assert backend.load(small_job()) == {}
+        assert not (backend.root / "runs").exists()
+
+    def test_different_specs_do_not_share_entries(self, backend):
+        execute_job(small_job(), store=backend)
+        counting = CountingExecutor()
+        outcome = execute_job(
+            small_job(delays=(0,)), executor=counting, store=backend
+        )
+        assert counting.shards_run == outcome.stats.shards_total > 0
+
+    def test_iter_runs_reports_what_was_stored(self, backend):
+        job = small_job()
+        execute_job(job, store=backend, shard_count=4)
+        (run,) = list(backend.iter_runs())
+        assert run.sweep_key == job.sweep_key()
+        assert run.algorithm == "fast"
+        assert run.graph_family == "ring"
+        assert run.engine == "reactive"
+        assert run.label_space == 3
+        assert len(run.shards) == 4
+        assert run.spec == job.sweep_spec().to_dict()
+
+
+class TestCrossBackendByteIdentity:
+    """The crown jewel, extended: backend x executor never changes bytes."""
+
+    def test_cached_reports_match_the_storeless_run(self, tmp_path):
+        job = small_job()
+        baseline = canonical_json(execute_job(job, shard_count=5).report.to_dict())
+
+        replayed = []
+        for name in BACKEND_NAMES:
+            store = resolve_backend(name, tmp_path / name)
+            execute_job(job, store=store, shard_count=5)
+            counting = CountingExecutor()
+            outcome = execute_job(
+                job, executor=counting, store=store, shard_count=5
+            )
+            assert counting.shards_run == 0  # pure replay, no re-execution
+            replayed.append(canonical_json(outcome.report.to_dict()))
+
+        parallel = execute_job(
+            job,
+            executor=ParallelExecutor(2),
+            store=resolve_backend("sqlite", tmp_path / "parallel"),
+            shard_count=5,
+        )
+        replayed.append(canonical_json(parallel.report.to_dict()))
+        assert set(replayed) == {baseline}
+
+    def test_query_payload_is_byte_identical_across_backends(self, tmp_path):
+        jobs = [
+            small_job(),
+            small_job(graph=GraphSpec.make("path", n=5)),
+            small_job(algorithm=AlgorithmSpec("fast", 4)),
+        ]
+        payloads = []
+        for name in BACKEND_NAMES:
+            store = resolve_backend(name, tmp_path / name)
+            for job in jobs:
+                execute_job(job, store=store, shard_count=3)
+            payloads.append(
+                canonical_json(query_payload(store, algorithm="fast"))
+            )
+        assert payloads[0] == payloads[1]
+
+
+class TestConcurrentFirstAppend:
+    def test_racing_appenders_lose_no_shards(self, backend):
+        job = small_job()
+        bounds = plan_shards(job.config_space_size(), shard_count=8)
+        reports = [run_shard(job.shard_spec(lo, hi)) for lo, hi in bounds]
+        barrier = threading.Barrier(len(reports))
+
+        def publish(report):
+            barrier.wait()
+            backend.append(job, report)
+
+        threads = [
+            threading.Thread(target=publish, args=(report,))
+            for report in reports
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        loaded = backend.load(job)
+        assert sorted(loaded) == sorted(report.shard for report in reports)
+        (run,) = list(backend.iter_runs())
+        assert len(run.shards) == len(reports)
+
+    def test_jsonl_race_claims_exactly_one_header(self, tmp_path):
+        store = JsonlBackend(tmp_path)
+        job = small_job()
+        bounds = plan_shards(job.config_space_size(), shard_count=8)
+        reports = [run_shard(job.shard_spec(lo, hi)) for lo, hi in bounds]
+        barrier = threading.Barrier(len(reports))
+
+        def publish(report):
+            barrier.wait()
+            store.append(job, report)
+
+        threads = [
+            threading.Thread(target=publish, args=(report,))
+            for report in reports
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        lines = [
+            json.loads(line)
+            for line in store.path_for(job).read_text().splitlines()
+        ]
+        assert [l["kind"] for l in lines].count("job") == 1
+        assert sum(l["kind"] == "shard" for l in lines) == len(reports)
+
+
+class TestClearCounts:
+    def test_clear_sweeps_both_formats_and_counts_each(self, tmp_path):
+        root = tmp_path / "shared"
+        jsonl = JsonlBackend(root)
+        sqlite_store = SqliteBackend(root)
+        execute_job(small_job(), store=jsonl)
+        execute_job(small_job(delays=(0,)), store=jsonl)
+        execute_job(small_job(), store=sqlite_store)
+
+        # Either backend's clear() removes the other's bytes too, so a
+        # backend switch can never leave stale results behind.
+        assert jsonl.clear() == {"jsonl": 2, "sqlite": 1}
+        assert sqlite_store.clear() == {"jsonl": 0, "sqlite": 0}
+        assert jsonl.load(small_job()) == {}
+        assert sqlite_store.load(small_job()) == {}
+
+
+class TestJsonlCompaction:
+    def test_compact_of_a_healthy_store_changes_no_bytes(self, tmp_path):
+        store = JsonlBackend(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=4)
+        before = store.path_for(job).read_bytes()
+        stats = store.compact()
+        assert stats.files == 1
+        assert stats.rewritten == 0
+        assert store.path_for(job).read_bytes() == before
+
+    def test_compact_folds_torn_lines_and_duplicates(self, tmp_path):
+        store = JsonlBackend(tmp_path)
+        job = small_job()
+        baseline = execute_job(job, store=store, shard_count=5)
+        path = store.path_for(job)
+        lines = path.read_text().splitlines()
+        damaged = [lines[0], lines[0]] + lines[1:] + [lines[2], lines[3][:17]]
+        path.write_text("\n".join(damaged) + "\n")
+
+        with pytest.warns(RuntimeWarning, match="1 undecodable"):
+            assert len(store.load(job)) == 5
+
+        stats = store.compact()
+        assert stats.files == 1
+        assert stats.rewritten == 1
+        assert stats.torn_lines == 1
+        assert stats.duplicate_headers == 1
+        assert stats.duplicate_shards == 1
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = store.load(job)
+        assert len(loaded) == 5
+        counting = CountingExecutor()
+        replay = execute_job(job, executor=counting, store=store, shard_count=5)
+        assert counting.shards_run == 0
+        assert canonical_json(replay.report.to_dict()) == canonical_json(
+            baseline.report.to_dict()
+        )
+
+    def test_multiple_torn_lines_warn_with_the_count(self, tmp_path):
+        store = JsonlBackend(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=6)
+        path = store.path_for(job)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:11]
+        lines[4] = "{torn"
+        lines[6] = lines[6][: len(lines[6]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.warns(RuntimeWarning, match="3 undecodable line"):
+            assert len(store.load(job)) == 3
+
+        stats = store.compact()
+        assert stats.torn_lines == 3
+        assert stats.rewritten == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(store.load(job)) == 3
+
+    def test_compact_restores_a_missing_trailing_newline(self, tmp_path):
+        store = JsonlBackend(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=3)
+        path = store.path_for(job)
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        stats = store.compact()
+        assert stats.rewritten == 1
+        assert path.read_bytes().endswith(b"\n")
+        assert len(store.load(job)) == 3
+
+
+class TestSqliteCompaction:
+    def test_healthy_warehouse_compacts_to_a_noop(self, tmp_path):
+        store = SqliteBackend(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=4)
+        stats = store.compact()
+        assert stats.files == 1
+        assert stats.rewritten == 0
+        assert stats.duplicate_shards == 0
+        assert len(store.load(job)) == 4
+
+    def test_orphaned_shard_rows_are_swept(self, tmp_path):
+        store = SqliteBackend(tmp_path)
+        job = small_job()
+        execute_job(job, store=store, shard_count=4)
+        connection = sqlite3.connect(store.path_for(job))
+        with connection:
+            connection.execute("DELETE FROM runs")
+        connection.close()
+
+        stats = store.compact()
+        assert stats.rewritten == 1
+        assert stats.duplicate_shards == 4
+        assert store.load(job) == {}
+        assert list(store.iter_runs()) == []
+
+
+class TestQueryLayer:
+    def test_filters_narrow_by_every_dimension(self, backend):
+        ring = small_job()
+        path = small_job(graph=GraphSpec.make("path", n=5))
+        wide = small_job(algorithm=AlgorithmSpec("fast", 4))
+        compiled = small_job(engine="compiled")
+        for job in (ring, path, wide, compiled):
+            execute_job(job, store=backend, shard_count=2)
+
+        assert len(query_runs(backend)) == 4
+        assert len(query_runs(backend, graph="path")) == 1
+        assert len(query_runs(backend, engine="compiled")) == 1
+        assert len(query_runs(backend, label_space=4)) == 1
+        assert query_runs(backend, algorithm="nope") == []
+        families = {
+            entry["graph"]["family"]
+            for entry in query_runs(backend, algorithm="fast")
+        }
+        assert families == {"ring", "path"}
+
+    def test_worst_case_answer_matches_the_live_report(self, backend):
+        job = small_job()
+        live = execute_job(job, store=backend, shard_count=3)
+        (entry,) = query_runs(backend, algorithm="fast")
+        assert entry["result"] == live.report.to_dict()
+        assert entry["sweep_key"] == job.sweep_key()
+
+    def test_runs_with_no_shards_are_skipped(self, backend):
+        # A registered sweep with no completed shards has no extremes to
+        # report; the query layer skips it rather than inventing nulls.
+        job = small_job()
+        other = small_job(delays=(0,))
+        execute_job(job, store=backend, shard_count=2)
+        execute_job(other, store=backend, shard_count=2)
+        if backend.kind == "jsonl":
+            path = backend.path_for(other)
+            header = path.read_text().splitlines()[0]
+            path.write_text(header + "\n")
+        else:
+            connection = sqlite3.connect(backend.path_for(other))
+            with connection:
+                connection.execute(
+                    "DELETE FROM shards WHERE sweep_key = ?",
+                    (other.sweep_key(),),
+                )
+            connection.close()
+
+        entries = query_runs(backend)
+        assert [entry["sweep_key"] for entry in entries] == [job.sweep_key()]
+        payload = query_payload(backend, algorithm="fast")
+        assert payload["result"]["count"] == 1
+        assert payload["query"]["algorithm"] == "fast"

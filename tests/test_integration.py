@@ -156,4 +156,4 @@ def test_certificates_fit_their_hypotheses():
 def test_library_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"

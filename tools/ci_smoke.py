@@ -1,6 +1,6 @@
 """CI smoke check for the CLI and the internal-deprecation policy.
 
-Six gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+Seven gates, all dependency-free (run with ``python tools/ci_smoke.py``):
 
 1. ``python -m repro --help`` exits 0 in a fresh subprocess;
 2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
@@ -11,7 +11,12 @@ Six gates, all dependency-free (run with ``python tools/ci_smoke.py``):
    (an empty cluster root is a valid, reportable state);
 5. ``lint --json`` reports a clean tree under every registered
    invariant rule (the shipped source must stay ``repro lint`` green);
-6. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+6. the run-store warehouse round-trips: the same sweep cached under the
+   jsonl and sqlite backends reports identically (modulo the
+   non-canonical timing section), ``query`` answers the worst-case
+   lookup from the warehouse without re-sweeping, and ``cache clear``
+   reports per-backend removal counts;
+7. no ``DeprecationWarning`` originates from inside ``src/repro`` while
    doing so -- deprecation shims, if any ever exist, are for external
    callers only; package-internal code must stay on the current API.
 """
@@ -48,7 +53,7 @@ def check_help() -> None:
     if proc.returncode != 0:
         fail(f"--help exited {proc.returncode}: {proc.stderr}")
     for command in ("run", "sweep", "certify", "explore", "tradeoff",
-                    "experiments", "telemetry", "cluster"):
+                    "experiments", "telemetry", "cluster", "query", "cache"):
         if command not in proc.stdout:
             fail(f"--help does not mention the {command!r} command")
     print("help: OK")
@@ -124,7 +129,7 @@ def check_json_commands() -> None:
     lint = json.loads(lint_out)
     if lint["result"]["ok"] is not True or lint["result"]["findings"] != []:
         fail(f"repro lint found violations: {lint['result']['findings']}")
-    if len(lint["lint"]["rules"]) < 7:
+    if len(lint["lint"]["rules"]) < 8:
         fail(f"lint rule registry shrank: {lint['lint']['rules']}")
     print("lint --json: OK")
 
@@ -140,9 +145,74 @@ def check_json_commands() -> None:
     print("no internal deprecation warnings: OK")
 
 
+def _without_timing(payload):
+    """Drop the non-canonical ``timing`` sections before comparison."""
+    if isinstance(payload, dict):
+        return {
+            key: _without_timing(value)
+            for key, value in payload.items()
+            if key != "timing"
+        }
+    if isinstance(payload, list):
+        return [_without_timing(item) for item in payload]
+    return payload
+
+
+def check_warehouse() -> None:
+    cache_dir = "ci-smoke-warehouse"
+    sweep_args = ["sweep", "--graph", "ring", "--size", "6",
+                  "--algorithm", "fast-sim", "--label-space", "4",
+                  "--cache-dir", cache_dir, "--json"]
+    jsonl_out, jsonl_warnings = run_cli_capturing(sweep_args)
+    sqlite_out, sqlite_warnings = run_cli_capturing(
+        sweep_args + ["--cache-backend", "sqlite"]
+    )
+    jsonl_payload = _without_timing(json.loads(jsonl_out))
+    sqlite_payload = _without_timing(json.loads(sqlite_out))
+    if jsonl_payload != sqlite_payload:
+        fail("sweep reports differ between the jsonl and sqlite backends")
+    print("sweep across both store backends: OK")
+
+    query_out, query_warnings = run_cli_capturing(
+        ["query", "--json", "--algorithm", "fast-sim",
+         "--cache-dir", cache_dir, "--cache-backend", "sqlite"]
+    )
+    answer = json.loads(query_out)
+    if answer["result"]["count"] < 1:
+        fail("query found no stored runs in the warehouse")
+    entry = answer["result"]["runs"][0]
+    if entry["algorithm"] != "fast-sim":
+        fail(f"query returned a foreign algorithm: {entry['algorithm']}")
+    worst_time = entry["result"]["worst_time"]["time"]
+    if worst_time != jsonl_payload["result"]["max_time"]:
+        fail(
+            f"warehouse worst time {worst_time} does not match the "
+            f"sweep's {jsonl_payload['result']['max_time']}"
+        )
+    print("query --json: OK")
+
+    clear_out, clear_warnings = run_cli_capturing(
+        ["cache", "clear", "--json", "--cache-dir", cache_dir]
+    )
+    removed = json.loads(clear_out)["removed"]
+    if removed != {"jsonl": 1, "sqlite": 1}:
+        fail(f"unexpected cache clear counts: {removed}")
+    print("cache clear --json: OK")
+
+    offenders = internal_deprecations(
+        jsonl_warnings + sqlite_warnings + query_warnings + clear_warnings
+    )
+    if offenders:
+        lines = "\n".join(
+            f"  {w.filename}:{w.lineno}: {w.message}" for w in offenders
+        )
+        fail(f"DeprecationWarning raised from inside src/repro:\n{lines}")
+
+
 def main() -> None:
     check_help()
     check_json_commands()
+    check_warehouse()
     print("smoke: all checks passed")
 
 
