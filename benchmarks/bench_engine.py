@@ -4,9 +4,12 @@ Not a paper experiment -- these keep the infrastructure honest: the round
 simulator's cost per round, the prefix-sum ring executor's advantage over
 it, the ``Trim`` procedure's full pairwise sweep, the experiment runtime's
 parallel-vs-serial sweep throughput, the compiled trajectory engine's
-speedup over the reactive simulator, and the vectorized batch engine's
+speedup over the reactive simulator, the vectorized batch engine's
 speedup over the compiled one on the dense (all start pairs, wide delay
-grid) sweep.  The engine comparison doubles as the perf baseline:
+grid) sweep, and the whole-cube tensor engine's speedup over the batch
+one on the same sweep handed over as a ``ConfigCube`` (cross-label
+tensor passes plus orbit/dominance pruning).  The engine comparison
+doubles as the perf baseline:
 ``python benchmarks/bench_engine.py`` (or the pytest bench, or the CI
 smoke job) rewrites ``BENCH_engine.json`` at the repository root so the
 numbers are tracked PR over PR.
@@ -34,6 +37,7 @@ from repro.runtime import (
     execute_job,
 )
 from repro.sim.adversary import (
+    ConfigCube,
     all_label_pairs,
     configurations,
     default_horizon,
@@ -78,8 +82,19 @@ def _engine_stages(sink: MemorySink, engine: str) -> dict:
         ),
         "scan_seconds": round(gauges.get(f"{engine}.scan_seconds", 0.0), 4),
     }
+    counters = sink.counter_totals()
     if engine == "batch":
-        stages["chunks"] = int(sink.counter_totals().get("batch.chunks", 0))
+        stages["chunks"] = int(counters.get("batch.chunks", 0))
+    elif engine == "cube":
+        stages["pruned_orbit_cells"] = int(
+            counters.get("cube.prune.orbit_cells", 0)
+        )
+        stages["pruned_dominated_slices"] = int(
+            counters.get("cube.prune.dominated_slices", 0)
+        )
+        stages["early_exit_rounds"] = int(
+            counters.get("cube.prune.early_exit_rounds", 0)
+        )
     return stages
 
 
@@ -197,6 +212,7 @@ def compiled_engine_baseline(path: pathlib.Path | None = BASELINE_PATH) -> dict:
             "speedup": round(reactive_seconds / compiled_seconds, 2),
         },
         "batch_vs_compiled": batch_engine_baseline(graph, algorithm),
+        "cube_vs_batch": cube_engine_baseline(graph, algorithm),
         "runtime": runtime_baseline(),
         "reports_identical": True,
     }
@@ -267,6 +283,61 @@ def batch_engine_baseline(graph, algorithm) -> dict | None:
     }
 
 
+def cube_engine_baseline(graph, algorithm) -> dict | None:
+    """Cube vs batch on the same dense whole-cube sweep.
+
+    The cube engine receives the space as a
+    :class:`~repro.sim.adversary.ConfigCube` (the axes, not a flat
+    stream), so its cross-label tensor pass and the orbit/dominance
+    pruning engage; the batch engine scans the identical configurations
+    as a stream.  Returns ``None`` without NumPy, like the batch section.
+    """
+    if not numpy_available():
+        return None
+    cube = ConfigCube.make(graph, all_label_pairs(8), delays=DENSE_DELAYS)
+    configs = list(cube)
+
+    def horizon(config):
+        return default_horizon(algorithm, config)
+
+    def timed(engine, workload):
+        best = None
+        for _ in range(2):
+            candidate = _instrumented_search(
+                engine, graph, algorithm, workload, horizon
+            )
+            if best is None or candidate[1] < best[1]:
+                best = candidate
+        return best
+
+    batch, batch_seconds, batch_sink = timed("batch", configs)
+    cube_report, cube_seconds, cube_sink = timed("cube", cube)
+
+    assert cube_report == batch, "engines diverged; do not record a baseline"
+    assert not cube_report.failures
+    return {
+        "sweep": {
+            "algorithm": "fast",
+            "graph": "ring(n=16)",
+            "label_space": 8,
+            "delays": list(DENSE_DELAYS),
+            "fix_first_start": False,
+            "configurations": len(configs),
+        },
+        "batch": {
+            "seconds": round(batch_seconds, 4),
+            "configs_per_s": round(len(configs) / batch_seconds, 1),
+            "stages": _engine_stages(batch_sink, "batch"),
+        },
+        "cube": {
+            "seconds": round(cube_seconds, 4),
+            "configs_per_s": round(len(configs) / cube_seconds, 1),
+            "stages": _engine_stages(cube_sink, "cube"),
+        },
+        "speedup": round(batch_seconds / cube_seconds, 2),
+    }
+
+
 def runtime_baseline() -> dict:
     """The sharded runtime sweep, with its merge/store split measured.
 
@@ -305,8 +376,9 @@ def runtime_baseline() -> dict:
 
 
 def test_engine_compiled_sweep_speedup(report):
-    """Compiled trajectories must beat the reactive sweep by >= 10x, and
-    the batch engine the compiled one by >= 3x (when NumPy is present).
+    """Compiled trajectories must beat the reactive sweep by >= 10x, the
+    batch engine the compiled one by >= 3x, and the cube engine the
+    batch one by >= 10x (when NumPy is present).
 
     Also refreshes the ``BENCH_engine.json`` baseline, so running the
     bench suite keeps the recorded perf trajectory current.
@@ -331,10 +403,22 @@ def test_engine_compiled_sweep_speedup(report):
             f"({batch['batch']['configs_per_s']:.0f} configs/s) "
             f"-> speedup x{batch['speedup']:.1f}"
         )
+    cube = baseline["cube_vs_batch"]
+    if cube is not None:
+        lines.append(
+            f"whole-cube sweep ({cube['sweep']['configurations']} "
+            f"configurations): "
+            f"batch {cube['batch']['seconds'] * 1000:.0f} ms, "
+            f"cube {cube['cube']['seconds'] * 1000:.0f} ms "
+            f"({cube['cube']['configs_per_s']:.0f} configs/s) "
+            f"-> speedup x{cube['speedup']:.1f}"
+        )
     report(lines)
     assert versus["speedup"] >= 10
     if batch is not None:
         assert batch["speedup"] >= 3
+    if cube is not None:
+        assert cube["speedup"] >= 10
 
 
 def test_engine_runtime_parallel_speedup(benchmark, report):
@@ -367,7 +451,7 @@ if __name__ == "__main__":
     # The CI smoke job runs this directly (no pytest needed): regenerate
     # the baseline, print it, and fail loudly if the engines diverge or a
     # speedup regresses (compiled below 10x reactive; batch below 3x
-    # compiled whenever NumPy is installed).
+    # compiled and cube below 10x batch whenever NumPy is installed).
     summary = compiled_engine_baseline()
     print(json.dumps(summary, indent=2))
     if summary["compiled_vs_reactive"]["speedup"] < 10:
@@ -381,4 +465,11 @@ if __name__ == "__main__":
     elif batch_summary["speedup"] < 3:
         raise SystemExit(
             f"batch engine speedup regressed to x{batch_summary['speedup']}"
+        )
+    cube_summary = summary["cube_vs_batch"]
+    if cube_summary is None:
+        print("numpy not installed: cube engine baseline skipped")
+    elif cube_summary["speedup"] < 10:
+        raise SystemExit(
+            f"cube engine speedup regressed to x{cube_summary['speedup']}"
         )

@@ -8,8 +8,8 @@ Both resolve names through the registries in :mod:`repro.registry`, build
 to :mod:`repro.runtime` job specs, serialize to dicts/JSON, and run
 through a single :meth:`Scenario.run` entry point that routes small jobs
 to the in-process serial executor and large ones to the sharded process
-pool, and runs schedule-driven algorithms on the vectorized batch engine
-(:mod:`repro.sim.batch`, when NumPy is installed) or the compiled
+pool, and runs schedule-driven algorithms on the pruned cube engine
+(:mod:`repro.sim.cube`, when NumPy is installed) or the compiled
 trajectory engine (:mod:`repro.sim.compiled`) instead of the round
 simulator -- with byte-identical reports whichever way a sweep is
 executed.
@@ -73,9 +73,9 @@ from repro.runtime.store import (
 )
 from repro.sim import batch as sim_batch
 from repro.sim.adversary import (
+    ConfigCube,
     Configuration,
     all_label_pairs,
-    configurations,
     default_horizon,
     worst_case_search,
 )
@@ -86,7 +86,7 @@ from repro.sim.simulator import simulate_rendezvous
 #: spaces at least this large route to the process pool.
 AUTO_PARALLEL_THRESHOLD = 20_000
 
-_ENGINES = ("auto", "batch", "compiled", "parallel", "serial")
+_ENGINES = ("auto", "batch", "compiled", "cube", "parallel", "serial")
 
 
 def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
@@ -94,13 +94,14 @@ def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
 
     ``"serial"`` and ``"parallel"`` are explicit executor choices and keep
     the reactive simulator.  ``"compiled"`` demands the compiled
-    trajectory engine and ``"batch"`` the vectorized NumPy engine; both
-    raise unless the registered algorithm declares ``is_oblivious`` (the
-    :class:`~repro.core.base.RendezvousAlgorithm` flag marking a
-    schedule-driven behaviour), and ``"batch"`` additionally raises a
-    loud :class:`~repro.sim.batch.BatchUnavailableError` when NumPy is
+    trajectory engine, ``"batch"`` the vectorized NumPy engine and
+    ``"cube"`` the cross-label tensor engine (:mod:`repro.sim.cube`); all
+    three raise unless the registered algorithm declares ``is_oblivious``
+    (the :class:`~repro.core.base.RendezvousAlgorithm` flag marking a
+    schedule-driven behaviour), and the NumPy engines additionally raise
+    a loud :class:`~repro.sim.batch.BatchUnavailableError` when NumPy is
     not importable.  ``"auto"`` selects the fastest sound substrate:
-    ``"batch"`` when the flag is declared and NumPy is importable,
+    ``"cube"`` when the flag is declared and NumPy is importable,
     ``"compiled"`` when only the flag is, and the reactive simulator for
     everything else -- sound any way, since the engines produce
     byte-identical reports wherever they all apply.
@@ -112,18 +113,18 @@ def resolve_sim_engine(engine: str, algorithm_name: str) -> str:
     oblivious = bool(
         getattr(ALGORITHMS.entry(algorithm_name).target, "is_oblivious", False)
     )
-    if engine in ("batch", "compiled"):
+    if engine in ("batch", "compiled", "cube"):
         if not oblivious:
             raise ValueError(
                 f"algorithm {algorithm_name!r} does not declare is_oblivious; "
                 f"engine={engine!r} needs a schedule-driven algorithm"
             )
-        if engine == "batch":
-            sim_batch.require_numpy()
+        if engine in ("batch", "cube"):
+            sim_batch.require_numpy(engine)
         return engine
     if not oblivious:
         return "reactive"
-    return "batch" if sim_batch.numpy_available() else "compiled"
+    return "cube" if sim_batch.numpy_available() else "compiled"
 
 
 def _reject_nonzero_delays(
@@ -244,6 +245,7 @@ def sweep_objects(
     sample: int | None = None,
     engine: str = "reactive",
     telemetry: Telemetry = NULL_TELEMETRY,
+    prune: bool | None = None,
 ) -> SweepRow:
     """Adversarial worst-case search over live ``(algorithm, graph)`` objects.
 
@@ -254,10 +256,14 @@ def sweep_objects(
     Simultaneous-start-only algorithms reject non-zero delays loudly
     rather than producing invalid rows.  ``engine`` is forwarded to
     :func:`~repro.sim.adversary.worst_case_search` (``"auto"`` runs
-    objects declaring ``is_oblivious`` on the vectorized batch engine
-    when NumPy is importable, on compiled trajectories otherwise); the
-    row is identical whichever engine runs, and with ``sample=None`` the
-    configuration stream is consumed lazily rather than materialized.
+    objects declaring ``is_oblivious`` on the cube engine when NumPy is
+    importable, on compiled trajectories otherwise); the row is identical
+    whichever engine runs.  The configuration space rides as a
+    :class:`~repro.sim.adversary.ConfigCube` -- the axes product every
+    engine iterates lazily and the cube engine answers by whole tensor
+    passes.  ``prune`` is the cube engine's pruning knob (``None``
+    resolves via ``REPRO_PRUNE``); pruned and unpruned rows are
+    byte-identical.
     """
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, delays
@@ -271,7 +277,7 @@ def sweep_objects(
     report = worst_case_search(
         graph,
         algorithm,
-        configurations(
+        ConfigCube.make(
             graph,
             label_pairs,
             delays=delays,
@@ -281,6 +287,7 @@ def sweep_objects(
         sample=sample,
         engine=engine,
         telemetry=telemetry,
+        prune=prune,
     )
     return _row_from_report(algorithm, graph, graph_name, report)
 
@@ -308,17 +315,17 @@ def run_job(
     _reject_nonzero_delays(
         algorithm.name, algorithm.requires_simultaneous_start, spec.delays
     )
-    if spec.engine in ("compiled", "batch") and not getattr(
+    if spec.engine in ("compiled", "batch", "cube") and not getattr(
         algorithm, "is_oblivious", False
     ):
         raise ValueError(
             f"{algorithm.name} does not declare is_oblivious; "
             f"a {spec.engine}-engine job spec needs a schedule-driven algorithm"
         )
-    if spec.engine == "batch":
+    if spec.engine in ("batch", "cube"):
         # Fail fast with the install hint here rather than deep inside a
         # worker process (every pool worker would raise the same error).
-        sim_batch.require_numpy()
+        sim_batch.require_numpy(spec.engine)
     outcome = execute_job(
         spec,
         executor=executor,
@@ -343,10 +350,11 @@ def resolve_engine(
     """Map an ``engine`` choice (and optional worker count) to an executor.
 
     ``"serial"`` and ``"parallel"`` are explicit; ``"auto"``,
-    ``"compiled"`` and ``"batch"`` (which constrain the simulation
-    substrate, not the executor -- see :func:`resolve_sim_engine`) follow
-    the worker count when one is given, and otherwise route spaces of at
-    least :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
+    ``"compiled"``, ``"batch"`` and ``"cube"`` (which constrain the
+    simulation substrate, not the executor -- see
+    :func:`resolve_sim_engine`) follow the worker count when one is
+    given, and otherwise route spaces of at least
+    :data:`AUTO_PARALLEL_THRESHOLD` configurations to the pool.
     """
     if engine == "serial":
         if workers not in (None, 1):
@@ -356,7 +364,7 @@ def resolve_engine(
         return SerialExecutor()
     if engine == "parallel":
         return ParallelExecutor(workers)
-    if engine in ("auto", "batch", "compiled"):
+    if engine in ("auto", "batch", "compiled", "cube"):
         if workers is not None:
             return make_executor(workers)
         if config_space_size >= AUTO_PARALLEL_THRESHOLD:
@@ -768,7 +776,7 @@ class Scenario:
         The single entry point: ``engine`` picks the executor (see
         :func:`resolve_engine`) *and* the per-configuration substrate (see
         :func:`resolve_sim_engine`) -- under the default ``"auto"``,
-        schedule-driven algorithms run on the vectorized batch engine
+        schedule-driven algorithms run on the pruned cube engine
         (compiled trajectories when NumPy is absent), everything else on
         the reactive simulator.  ``cache`` picks the
         run store and ``backend`` its on-disk format -- ``"jsonl"`` (the

@@ -6,12 +6,17 @@ Commands:
 * ``sweep`` -- adversarial worst-case sweep of a scenario (sharded over
   the runtime: ``--workers N`` fans shards out to a process pool;
   ``--engine`` picks the execution engine, with the default ``auto``
-  running schedule-driven algorithms on the vectorized batch engine when
-  NumPy is installed and on the compiled trajectory engine otherwise;
+  running schedule-driven algorithms on the whole-cube tensor engine
+  when NumPy is installed and on the compiled trajectory engine
+  otherwise; ``--no-prune`` disables the cube engine's adversary-space
+  pruning (reports are byte-identical either way);
   completed shards are cached in ``.repro_cache/`` unless ``--no-cache``
   is given, so reruns and interrupted sweeps resume;
   ``--cache-backend`` picks the store format -- ``jsonl`` files or the
   indexed ``sqlite`` warehouse -- with byte-identical reports either way);
+* ``engines`` -- print the engine ladder (reactive, compiled, batch,
+  cube) with each rung's requirements and availability in this
+  environment, and what ``auto`` resolves to;
 * ``query`` -- answer worst-case questions from stored runs without
   re-sweeping: filter the run store by algorithm, graph family, engine
   and label space, and print each matching sweep's merged extremes
@@ -70,6 +75,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from contextlib import contextmanager
@@ -306,6 +312,11 @@ def command_sweep(args: argparse.Namespace) -> int:
     delays = (0,) if simultaneous else tuple(args.delays)
     scenario = scenario_from_args(args, delays=delays)
     graph = _from_flags(scenario.build_graph)
+    if args.no_prune:
+        # Through the environment rather than the spec: pool and cluster
+        # workers inherit it, and the knob stays out of run-store keys
+        # (pruned and unpruned sweeps are byte-identical).
+        os.environ["REPRO_PRUNE"] = "0"
     store = (
         None
         if args.no_cache
@@ -340,6 +351,74 @@ def command_sweep(args: argparse.Namespace) -> int:
     print(f"worst cost at {row.worst_cost_config}")
     print(f"runtime: {stats.summary()}, workers={args.workers}, "
           f"cache={'off' if store is None else store.root}")
+    return 0
+
+
+def _engine_rows() -> list[dict]:
+    """The simulation-engine ladder, slowest rung first.
+
+    Availability is probed in this process: the NumPy rungs report
+    ``available=False`` (never an import error) when the optional
+    dependency is absent.
+    """
+    from repro.sim.batch import numpy_available
+
+    numpy_ok = numpy_available()
+    return [
+        {
+            "engine": "reactive",
+            "available": True,
+            "requires": [],
+            "description": "round-by-round simulator; runs every algorithm",
+        },
+        {
+            "engine": "compiled",
+            "available": True,
+            "requires": ["is_oblivious"],
+            "description": "compiled (label, start) trajectories, pure Python",
+        },
+        {
+            "engine": "batch",
+            "available": numpy_ok,
+            "requires": ["is_oblivious", "numpy"],
+            "description": "dense NumPy timelines, chunked config blocks",
+        },
+        {
+            "engine": "cube",
+            "available": numpy_ok,
+            "requires": ["is_oblivious", "numpy"],
+            "description": "whole-cube tensor passes; orbit/dominance "
+                           "pruning on symmetry-declaring graphs",
+        },
+    ]
+
+
+def command_engines(args: argparse.Namespace) -> int:
+    """Print the engine ladder with availability in this environment."""
+    from repro.sim.batch import numpy_available
+
+    rows = _engine_rows()
+    auto_oblivious = "cube" if numpy_available() else "compiled"
+    if args.json:
+        print(canonical_json({
+            "engines": rows,
+            "auto": {"oblivious": auto_oblivious, "otherwise": "reactive"},
+        }))
+        return 0
+    table = Table(
+        "Simulation engines (byte-identical reports wherever they all apply)",
+        ["engine", "available", "requires", "description"],
+    )
+    for row in rows:
+        table.add_row(
+            row["engine"],
+            "yes" if row["available"] else "no",
+            ", ".join(row["requires"]) or "-",
+            row["description"],
+        )
+    table.print()
+    print(f"auto resolves to: {auto_oblivious} for algorithms declaring "
+          f"is_oblivious, reactive otherwise")
     return 0
 
 
@@ -921,13 +1000,18 @@ def make_parser() -> argparse.ArgumentParser:
     common(sweep_parser)
     sweep_parser.add_argument("--delays", type=int, nargs="*", default=[0, 5, 20])
     sweep_parser.add_argument("--engine", default="auto",
-                              choices=["auto", "batch", "compiled", "parallel",
-                                       "serial"],
-                              help="execution engine (default auto: vectorized "
-                                   "NumPy batch engine for schedule-driven "
+                              choices=["auto", "batch", "compiled", "cube",
+                                       "parallel", "serial"],
+                              help="execution engine (default auto: whole-cube "
+                                   "tensor engine for schedule-driven "
                                    "algorithms when numpy is installed, compiled "
                                    "trajectories otherwise, reactive simulation "
                                    "for the rest; reports are byte-identical)")
+    sweep_parser.add_argument("--no-prune", action="store_true",
+                              help="disable the cube engine's adversary-space "
+                                   "pruning (sets REPRO_PRUNE=0, which pool "
+                                   "and cluster workers inherit; reports are "
+                                   "byte-identical either way)")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="process-pool workers (default 1 = serial)")
     sweep_parser.add_argument("--shards", type=int, default=None,
@@ -954,6 +1038,14 @@ def make_parser() -> argparse.ArgumentParser:
 
     explore_parser = sub.add_parser("explore", help="exploration budget table")
     explore_parser.set_defaults(func=command_explore)
+
+    engines_parser = sub.add_parser(
+        "engines",
+        help="list the simulation-engine ladder with availability here",
+    )
+    engines_parser.add_argument("--json", action="store_true",
+                                help="emit the ladder as canonical JSON")
+    engines_parser.set_defaults(func=command_engines)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -1024,7 +1116,7 @@ def make_parser() -> argparse.ArgumentParser:
                                 help="shrunk CI-sized grids (same definitions, "
                                      "same verdict texts)")
     exp_run_parser.add_argument("--engine", default="auto",
-                                choices=["auto", "batch", "compiled",
+                                choices=["auto", "batch", "compiled", "cube",
                                          "parallel", "serial"],
                                 help="execution engine for the scenario grids "
                                      "(default auto)")
@@ -1138,7 +1230,8 @@ def make_parser() -> argparse.ArgumentParser:
     cluster_run_parser.add_argument("--delays", type=int, nargs="*",
                                     default=[0, 5, 20])
     cluster_run_parser.add_argument("--engine", default="auto",
-                                    choices=["auto", "batch", "compiled"],
+                                    choices=["auto", "batch", "compiled",
+                                             "cube"],
                                     help="simulation engine (default auto; "
                                          "the executor axis is the cluster)")
     cluster_run_parser.add_argument("--cluster-workers", type=int, default=2,
@@ -1239,7 +1332,7 @@ def make_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--graph", default=None,
                               help="filter on the graph family, e.g. ring")
     query_parser.add_argument("--engine", default=None,
-                              choices=["reactive", "compiled", "batch"],
+                              choices=["reactive", "compiled", "batch", "cube"],
                               help="filter on the simulation engine the "
                                    "sweep recorded")
     query_parser.add_argument("--label-space", type=int, default=None,

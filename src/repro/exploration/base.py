@@ -31,6 +31,17 @@ class ExplorationProcedure(ABC):
     #: Human-readable name used in reports.
     name: str = "exploration"
 
+    #: True when :meth:`moves` emits a port sequence that depends only on
+    #: the observation stream (clock, degree, entry ports) -- never on the
+    #: agent's absolute position or a map lookup keyed by node identity.
+    #: On a graph whose rotation is a port-preserving automorphism, such a
+    #: procedure traces rotated copies of one route from every start,
+    #: which is what lets the cube engine (:mod:`repro.sim.prune`) derive
+    #: all-start trajectories from a single compilation.  Deliberately
+    #: conservative: ``False`` here; a procedure must only declare ``True``
+    #: when the property holds by construction (fixed port sequences).
+    start_oblivious: bool = False
+
     @property
     @abstractmethod
     def budget(self) -> int:

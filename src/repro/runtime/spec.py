@@ -218,7 +218,7 @@ class AlgorithmSpec:
 
 
 #: The per-configuration execution substrates a worker can run.
-SIM_ENGINES = ("reactive", "compiled", "batch")
+SIM_ENGINES = ("reactive", "compiled", "batch", "cube")
 
 
 @dataclass(frozen=True)

@@ -8,11 +8,12 @@ construction cost once per distinct job, not once per shard).
 
 The spec's ``engine`` picks the per-configuration substrate: the reactive
 round simulator, the compiled trajectory engine
-(:mod:`repro.sim.compiled`), or the vectorized batch engine
-(:mod:`repro.sim.batch`).  The compiled ``(label, start)`` trajectory
-table and the batch engine's dense per-label timeline arrays are likewise
-memoised per process, so shards of one sweep share compilations.  The
-batch substrate never walks the shard configuration by configuration: the
+(:mod:`repro.sim.compiled`), the vectorized batch engine
+(:mod:`repro.sim.batch`), or the pruned cube engine
+(:mod:`repro.sim.cube`).  The compiled ``(label, start)`` trajectory
+table and the NumPy engines' dense timeline arrays are likewise memoised
+per process, so shards of one sweep share compilations.  The NumPy
+substrates never walk the shard configuration by configuration: the
 shard's lazy ``(index, configuration)`` stream is measured in bounded
 vectorized chunks.  Whatever the substrate, the measured ``(time, cost)``
 per configuration -- and hence the shard report -- is identical.
@@ -57,6 +58,18 @@ def _batch_table(
 ) -> BatchTimelineTable:
     graph, algorithm = _materialize(graph_spec, algorithm_spec)
     return BatchTimelineTable(graph, algorithm)
+
+
+@lru_cache(maxsize=8)
+def _cube_table(graph_spec: GraphSpec, algorithm_spec: AlgorithmSpec):
+    # Imported lazily so NumPy-free workers can run the other engines.
+    from repro.sim.cube import CubeTimelineTable
+
+    graph, algorithm = _materialize(graph_spec, algorithm_spec)
+    # prune=None resolves via REPRO_PRUNE, which pool/cluster workers
+    # inherit from the submitting process -- pruned and unpruned shards
+    # are byte-identical, so the knob never rides on the spec.
+    return CubeTimelineTable(graph, algorithm)
 
 
 class _ShardMeter:
@@ -109,8 +122,12 @@ def _measured_stream(
         )
 
     indexed = spec.iter_shard(graph)
-    if spec.engine == "batch":
-        table = _batch_table(spec.graph, spec.algorithm)
+    if spec.engine in ("batch", "cube"):
+        table = (
+            _cube_table(spec.graph, spec.algorithm)
+            if spec.engine == "cube"
+            else _batch_table(spec.graph, spec.algorithm)
+        )
         if meter is not None:
             meter.watch_table(table)
         for index, config, _horizon, time_, cost in evaluate_stream(

@@ -133,6 +133,54 @@ def configurations(
                 yield Configuration(labels=labels, starts=starts, delay=delay)
 
 
+@dataclass(frozen=True)
+class ConfigCube:
+    """The adversarial space as a product of axes, not a flat stream.
+
+    Iterating one yields exactly what :func:`configurations` yields, in
+    the same global order (label pairs outermost, start pairs, then
+    delays), so every engine accepts a cube wherever it accepts a
+    configuration iterable.  The point of the class is what it *keeps*:
+    the axes.  The cube engine (:mod:`repro.sim.cube`) recognises a
+    :class:`ConfigCube` and answers the whole ``L(L-1) x n(n-1) x D``
+    space by tensor passes over the axes -- no per-configuration Python
+    objects are ever created on that path.
+    """
+
+    graph: PortLabeledGraph
+    label_pairs: tuple[tuple[int, int], ...]
+    start_pairs: tuple[tuple[int, int], ...]
+    delays: tuple[int, ...]
+
+    @classmethod
+    def make(
+        cls,
+        graph: PortLabeledGraph,
+        label_pairs: Iterable[tuple[int, int]],
+        delays: Iterable[int] = (0,),
+        start_pairs: Iterable[tuple[int, int]] | None = None,
+        fix_first_start: bool = False,
+    ) -> "ConfigCube":
+        """Build a cube with :func:`configurations`' argument conventions."""
+        if start_pairs is None:
+            start_pairs = default_start_pairs(graph, fix_first_start)
+        return cls(
+            graph=graph,
+            label_pairs=tuple((a, b) for a, b in label_pairs),
+            start_pairs=tuple((u, v) for u, v in start_pairs),
+            delays=tuple(delays),
+        )
+
+    def __iter__(self) -> Iterator[Configuration]:
+        for labels in self.label_pairs:
+            for starts in self.start_pairs:
+                for delay in self.delays:
+                    yield Configuration(labels=labels, starts=starts, delay=delay)
+
+    def __len__(self) -> int:
+        return len(self.label_pairs) * len(self.start_pairs) * len(self.delays)
+
+
 def default_horizon(algorithm: Any, config: Configuration) -> int:
     """The standard round budget for one configuration.
 
@@ -148,7 +196,7 @@ def default_horizon(algorithm: Any, config: Configuration) -> int:
 
 
 #: Valid values of ``worst_case_search``'s ``engine`` argument.
-SEARCH_ENGINES = ("reactive", "compiled", "batch", "auto")
+SEARCH_ENGINES = ("reactive", "compiled", "batch", "cube", "auto")
 
 
 def worst_case_search(
@@ -161,6 +209,7 @@ def worst_case_search(
     rng: random.Random | None = None,
     engine: str = "reactive",
     telemetry: Telemetry = NULL_TELEMETRY,
+    prune: bool | None = None,
 ) -> WorstCaseReport:
     """Run every configuration and keep the extremes.
 
@@ -186,11 +235,19 @@ def worst_case_search(
       answers whole configuration blocks per NumPy pass
       (:mod:`repro.sim.batch`); needs the optional NumPy dependency and a
       schedule-driven factory;
+    * ``"cube"`` tensorizes *across* label pairs and prunes the adversary
+      space by rotation orbits and delay dominance
+      (:mod:`repro.sim.cube`); same requirements as ``"batch"``, fastest
+      when ``configs`` is a :class:`ConfigCube`;
     * ``"auto"`` picks the fastest sound engine for the factory: agents
       declaring ``is_oblivious`` (see
-      :class:`repro.core.base.RendezvousAlgorithm`) run on ``"batch"``
+      :class:`repro.core.base.RendezvousAlgorithm`) run on ``"cube"``
       when NumPy is importable, on ``"compiled"`` otherwise; everything
       else stays reactive.
+
+    ``prune`` is consulted by the cube engine only (``None`` resolves
+    through :func:`repro.sim.prune.resolve_prune`); pruned and unpruned
+    runs return byte-identical reports.
     """
     if engine not in SEARCH_ENGINES:
         raise ValueError(
@@ -209,9 +266,21 @@ def worst_case_search(
         if getattr(factory, "is_oblivious", False):
             from repro.sim import batch as batch_module
 
-            engine = "batch" if batch_module.numpy_available() else "compiled"
+            engine = "cube" if batch_module.numpy_available() else "compiled"
         else:
             engine = "reactive"
+    if engine == "cube":
+        from repro.sim.cube import cube_worst_case_search
+
+        return cube_worst_case_search(
+            graph,
+            factory,
+            configs,
+            max_rounds,
+            presence,
+            telemetry=telemetry,
+            prune=prune,
+        )
     if engine == "batch":
         from repro.sim.batch import batch_worst_case_search
 

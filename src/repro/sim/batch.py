@@ -42,6 +42,7 @@ from __future__ import annotations
 # inertness matrix in tests/obs proves dynamically.
 
 import itertools
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -83,35 +84,82 @@ _MATRIX_CACHE_ELEMENTS = 1 << 24
 _DENSE_FRACTION = 8
 
 #: Configurations pulled from a stream per :func:`evaluate_stream` chunk
-#: -- the whole memory footprint of an arbitrarily large lazy sweep.
+#: when neither the caller nor the environment picks a size and no graph
+#: is available to size one from.
 DEFAULT_STREAM_CHUNK = 16384
+
+#: Environment override for the stream chunk size, consulted by
+#: :func:`resolve_stream_chunk` (kwarg > env > graph-derived default).
+STREAM_CHUNK_ENV = "REPRO_BATCH_CHUNK"
+
+#: Hard ceiling on a graph-derived chunk size: past this, chunk-list
+#: bookkeeping dominates and memory grows for no vectorization gain.
+_MAX_DERIVED_CHUNK = 1 << 18
 
 
 class BatchUnavailableError(ValueError):
-    """``engine="batch"`` was requested but NumPy is not importable.
+    """A NumPy engine was requested but NumPy is not importable.
 
     A :class:`ValueError` (like :class:`repro.registry.SpecError`) naming
-    the missing dependency, the extra that provides it and the engines
-    that work without it.
+    the requesting engine, the missing dependency, the extra that
+    provides it and the engines that work without it.
     """
 
 
 def numpy_available() -> bool:
-    """Whether the batch engine can run in this environment."""
+    """Whether the NumPy engines (batch, cube) can run in this environment."""
     return _np is not None
 
 
-def require_numpy() -> Any:
-    """The ``numpy`` module, or a loud :class:`BatchUnavailableError`."""
+def require_numpy(engine: str = "batch") -> Any:
+    """The ``numpy`` module, or a loud :class:`BatchUnavailableError`.
+
+    ``engine`` names the requesting rung (``"batch"`` or ``"cube"``) so
+    the hint identifies what was asked for; the remedy is identical.
+    """
     if _np is None:
         raise BatchUnavailableError(
-            "engine 'batch' needs NumPy, which is not importable in this "
-            "environment; install the optional extra (pip install "
+            f"engine {engine!r} needs NumPy, which is not importable in "
+            "this environment; install the optional extra (pip install "
             "'repro-rendezvous[batch]') or choose engine 'auto' or "
             "'compiled' -- 'auto' falls back to the compiled engine "
             "without NumPy and the reports are identical"
         )
     return _np
+
+
+def resolve_stream_chunk(
+    chunk_size: int | None = None, graph: PortLabeledGraph | None = None
+) -> int:
+    """The single resolution funnel for the stream chunk size.
+
+    Explicit argument > ``REPRO_BATCH_CHUNK`` environment variable > a
+    graph-derived default.  The derived default covers ``8 * n**2``
+    configurations -- enough start-pair coverage that every group in the
+    chunk clears :data:`_DENSE_FRACTION` and answers through the cached
+    all-pairs matrices -- floored at :data:`DEFAULT_STREAM_CHUNK` and
+    capped at :data:`_MAX_DERIVED_CHUNK` so small sweeps stop paying
+    per-chunk overhead without huge graphs ballooning memory.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    raw = os.environ.get(STREAM_CHUNK_ENV)
+    if raw is not None:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            parsed = 0
+        if parsed < 1:
+            raise ValueError(
+                f"{STREAM_CHUNK_ENV}={raw!r} is not a positive integer"
+            )
+        return parsed
+    if graph is not None:
+        derived = 8 * graph.num_nodes**2
+        return min(max(DEFAULT_STREAM_CHUNK, derived), _MAX_DERIVED_CHUNK)
+    return DEFAULT_STREAM_CHUNK
 
 
 @dataclass(frozen=True)
@@ -474,7 +522,7 @@ def evaluate_stream(
     table: BatchTimelineTable,
     items: Iterable[tuple[Any, Configuration, int]],
     presence: PresenceModel = PresenceModel.FROM_START,
-    chunk_size: int = DEFAULT_STREAM_CHUNK,
+    chunk_size: int | None = None,
     on_chunk: Callable[[int, float], None] | None = None,
 ) -> Iterator[tuple[Any, Configuration, int, int | None, int]]:
     """Measure a lazy ``(key, config, horizon)`` stream, preserving order.
@@ -484,12 +532,13 @@ def evaluate_stream(
     chunk through :meth:`BatchTimelineTable.evaluate_many`, and yields
     ``(key, config, horizon, time, cost)`` in the input order -- the shape
     both :func:`batch_worst_case_search` and the runtime worker's shard
-    loop consume.  ``on_chunk(size, seconds)`` is called once per
-    vectorized pass (telemetry's chunk-timing hook); it observes and must
-    never influence the measurements.
+    loop consume.  ``chunk_size=None`` resolves through
+    :func:`resolve_stream_chunk` (``REPRO_BATCH_CHUNK``, then a default
+    sized to the table's graph).  ``on_chunk(size, seconds)`` is called
+    once per vectorized pass (telemetry's chunk-timing hook); it observes
+    and must never influence the measurements.
     """
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk_size = resolve_stream_chunk(chunk_size, table.graph)
     iterator = iter(items)
     while True:
         chunk = list(itertools.islice(iterator, chunk_size))
@@ -532,11 +581,12 @@ def batch_worst_case_search(
     executions = 0
     chunks = 0
 
+    chunk_size = resolve_stream_chunk(None, graph)
     with telemetry.span("batch.search"):
         started = time.perf_counter()
         iterator = iter(configs)
         while True:
-            chunk = list(itertools.islice(iterator, DEFAULT_STREAM_CHUNK))
+            chunk = list(itertools.islice(iterator, chunk_size))
             if not chunk:
                 break
             chunks += 1

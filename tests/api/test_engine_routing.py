@@ -1,12 +1,12 @@
 """Engine routing: how ``engine=`` choices map to executors and substrates.
 
 The executor axis (serial / process pool) and the simulation substrate
-(reactive / compiled trajectories / vectorized batch) are independent;
-these tests pin down the mapping -- ``auto`` runs schedule-driven
-algorithms on the fastest available substrate (batch with NumPy,
-compiled without), explicit ``serial``/``parallel`` stay reactive,
-``compiled`` and ``batch`` demand the flag -- and that every combination
-produces byte-identical reports.
+(reactive / compiled trajectories / vectorized batch / pruned cube) are
+independent; these tests pin down the mapping -- ``auto`` runs
+schedule-driven algorithms on the fastest available substrate (cube
+with NumPy, compiled without), explicit ``serial``/``parallel`` stay
+reactive, ``compiled``/``batch``/``cube`` demand the flag -- and that
+every combination produces byte-identical reports.
 """
 
 import json
@@ -58,7 +58,7 @@ def ring_job(**overrides) -> JobSpec:
 
 class TestResolveSimEngine:
     def test_auto_picks_the_fastest_sound_substrate(self):
-        expected = "batch" if numpy_available() else "compiled"
+        expected = "cube" if numpy_available() else "compiled"
         for name in ("cheap", "cheap-sim", "fast", "fast-sim", "fwr", "fwr-sim"):
             assert resolve_sim_engine("auto", name) == expected
 
@@ -76,8 +76,9 @@ class TestResolveSimEngine:
         assert resolve_sim_engine("compiled", "fast") == "compiled"
 
     @requires_numpy
-    def test_batch_is_explicit(self):
+    def test_batch_and_cube_are_explicit(self):
         assert resolve_sim_engine("batch", "fast") == "batch"
+        assert resolve_sim_engine("cube", "fast") == "cube"
 
     def test_batch_without_numpy_raises_the_install_hint(self, monkeypatch):
         import repro.sim.batch as batch_module
@@ -94,13 +95,12 @@ class TestResolveSimEngine:
         with pytest.raises(SpecError):
             resolve_sim_engine("auto", "nope")
 
-    def test_compiled_and_batch_require_the_flag(self, monkeypatch):
+    def test_derived_engines_require_the_flag(self, monkeypatch):
         monkeypatch.setattr(Cheap, "is_oblivious", False)
         assert resolve_sim_engine("auto", "cheap") == "reactive"
-        with pytest.raises(ValueError, match="is_oblivious"):
-            resolve_sim_engine("compiled", "cheap")
-        with pytest.raises(ValueError, match="is_oblivious"):
-            resolve_sim_engine("batch", "cheap")
+        for engine in ("compiled", "batch", "cube"):
+            with pytest.raises(ValueError, match="is_oblivious"):
+                resolve_sim_engine(engine, "cheap")
 
 
 class TestJobSpecEngine:
@@ -119,6 +119,7 @@ class TestJobSpecEngine:
         assert JobSpec.from_dict(payload).engine == "reactive"
         assert ring_job(engine="compiled").to_dict()["engine"] == "compiled"
         assert ring_job(engine="batch").to_dict()["engine"] == "batch"
+        assert ring_job(engine="cube").to_dict()["engine"] == "cube"
 
     def test_batch_specs_round_trip_with_their_own_key(self):
         batch = ring_job(engine="batch")
@@ -138,14 +139,21 @@ class TestExecutionEquivalence:
             reactive.report.to_dict()
         )
         if numpy_available():
-            batch = execute_job(ring_job(engine="batch"), executor=SerialExecutor())
-            assert canonical_json(batch.report.to_dict()) == canonical_json(
-                reactive.report.to_dict()
-            )
+            for engine in ("batch", "cube"):
+                derived = execute_job(
+                    ring_job(engine=engine), executor=SerialExecutor()
+                )
+                assert canonical_json(derived.report.to_dict()) == canonical_json(
+                    reactive.report.to_dict()
+                )
 
     @pytest.mark.parametrize(
         "engine",
-        ["compiled", pytest.param("batch", marks=requires_numpy)],
+        [
+            "compiled",
+            pytest.param("batch", marks=requires_numpy),
+            pytest.param("cube", marks=requires_numpy),
+        ],
     )
     def test_engine_shards_survive_the_process_pool(self, engine):
         serial = execute_job(
@@ -163,7 +171,7 @@ class TestExecutionEquivalence:
         scenario = tiny()
         engines = ["serial", "auto", "compiled"]
         if numpy_available():
-            engines.append("batch")
+            engines.extend(["batch", "cube"])
         by_engine = {engine: scenario.run(engine=engine) for engine in engines}
         reference = by_engine["serial"].to_json()
         assert all(run.to_json() == reference for run in by_engine.values())
@@ -176,11 +184,11 @@ class TestExecutionEquivalence:
         serial = scenario.run(engine="serial")
         spec = scenario.job_spec()
         substrate = resolve_sim_engine("auto", scenario.algorithm)
-        assert substrate == ("batch" if numpy_available() else "compiled")
+        assert substrate == ("cube" if numpy_available() else "compiled")
         assert serial.stats.sweep_key == spec.key()
         assert auto.stats.sweep_key == replace(spec, engine=substrate).key()
 
-    @pytest.mark.parametrize("engine", ["compiled", "batch"])
+    @pytest.mark.parametrize("engine", ["compiled", "batch", "cube"])
     def test_run_job_rejects_engines_for_undeclared_algorithms(
         self, monkeypatch, engine
     ):
@@ -189,19 +197,24 @@ class TestExecutionEquivalence:
         with pytest.raises(ValueError, match="is_oblivious"):
             scenario.run(engine=engine)
 
-    def test_scenario_run_batch_without_numpy_fails_fast(self, monkeypatch):
+    @pytest.mark.parametrize("engine", ["batch", "cube"])
+    def test_scenario_run_numpy_engines_without_numpy_fail_fast(
+        self, monkeypatch, engine
+    ):
         import repro.sim.batch as batch_module
 
         monkeypatch.setattr(batch_module, "_np", None)
         with pytest.raises(ValueError, match=r"repro-rendezvous\[batch\]"):
-            tiny().run(engine="batch")
+            tiny().run(engine=engine)
 
 
 class TestCliEngineFlag:
     def test_sweep_json_engine_invariance(self, capsys):
         argv = ["sweep", "--graph", "ring", "--size", "6", "--algorithm", "cheap",
                 "--label-space", "3", "--delays", "0", "2", "--no-cache", "--json"]
-        engines = ["serial", "compiled"] + (["batch"] if numpy_available() else [])
+        engines = ["serial", "compiled"] + (
+            ["batch", "cube"] if numpy_available() else []
+        )
         payloads = {}
         for engine in engines:
             assert cli_main(argv + ["--engine", engine]) == 0

@@ -1,0 +1,13 @@
+"""REP030 clean: prune defaults to None, resolved by the vetted funnel."""
+
+
+def search(graph, prune=None):
+    return graph, prune
+
+
+def scan(graph, *, prune=None):
+    return graph, prune
+
+
+class Engine:
+    prune: "bool | None" = None

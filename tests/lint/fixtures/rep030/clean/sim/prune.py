@@ -1,0 +1,14 @@
+"""REP030 exemption: sim/prune.py is the one home of a concrete default."""
+
+DEFAULT_PRUNE = True
+
+
+def resolve_prune(prune=None):
+    if prune is not None:
+        return bool(prune)
+    return DEFAULT_PRUNE
+
+
+def plan(prune=DEFAULT_PRUNE):
+    # Inside sim/prune.py a concrete default is the point of the module.
+    return prune

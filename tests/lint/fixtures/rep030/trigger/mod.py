@@ -1,0 +1,13 @@
+"""REP030 trigger: concrete prune defaults outside sim/prune.py."""
+
+
+def search(graph, prune=True):
+    return graph, prune
+
+
+def scan(graph, *, prune=False):
+    return graph, prune
+
+
+class Engine:
+    prune: bool = True

@@ -1,7 +1,8 @@
 """Cross-engine equivalence: derived engines vs. the reactive simulator.
 
-The compiled trajectory engine (`repro.sim.compiled`) and the vectorized
-batch engine (`repro.sim.batch`) are only allowed to exist because they
+The compiled trajectory engine (`repro.sim.compiled`), the vectorized
+batch engine (`repro.sim.batch`) and the whole-cube tensor engine
+(`repro.sim.cube`) are only allowed to exist because they
 are *indistinguishable* from the reactive engine: for every registered
 algorithm on a small instance of every registered graph family, under
 both presence models and a ``{0, 1, E}`` delay grid, the engines must
@@ -32,7 +33,9 @@ from repro.sim.program import AgentContext
 from repro.sim.simulator import PresenceModel, simulate_rendezvous
 
 #: Every engine that must be indistinguishable from "reactive" here.
-DERIVED_ENGINES = ("compiled",) + (("batch",) if numpy_available() else ())
+DERIVED_ENGINES = ("compiled",) + (
+    ("batch", "cube") if numpy_available() else ()
+)
 
 #: The smallest valid instance of every registered graph family.  A test
 #: below asserts this stays in sync with the registry, so adding a family
@@ -149,12 +152,13 @@ class TestEngineSelection:
     def test_auto_uses_the_fastest_engine_for_oblivious_factories(
         self, ring12, monkeypatch
     ):
-        """``auto`` routes to batch with NumPy, to compiled without."""
+        """``auto`` routes to cube with NumPy, to compiled without."""
         algorithm = build_algorithm("cheap", ring12)
         configs = list(configurations(ring12, [(1, 2)], delays=(0,)))
         calls = []
         import repro.sim.batch as batch_module
         import repro.sim.compiled as compiled_module
+        import repro.sim.cube as cube_module
 
         def spy(name, original):
             return lambda *args, **kwargs: calls.append(name) or original(
@@ -162,9 +166,9 @@ class TestEngineSelection:
             )
 
         monkeypatch.setattr(
-            batch_module,
-            "batch_worst_case_search",
-            spy("batch", batch_module.batch_worst_case_search),
+            cube_module,
+            "cube_worst_case_search",
+            spy("cube", cube_module.cube_worst_case_search),
         )
         monkeypatch.setattr(
             compiled_module,
@@ -183,7 +187,7 @@ class TestEngineSelection:
 
         if numpy_available():
             search()
-            assert calls == ["batch"]
+            assert calls == ["cube"]
         calls.clear()
         monkeypatch.setattr(batch_module, "_np", None)
         search()

@@ -1,6 +1,6 @@
 """CI smoke check for the CLI and the internal-deprecation policy.
 
-Seven gates, all dependency-free (run with ``python tools/ci_smoke.py``):
+Eight gates, all dependency-free (run with ``python tools/ci_smoke.py``):
 
 1. ``python -m repro --help`` exits 0 in a fresh subprocess;
 2. one tiny ``sweep --json`` (and ``run --json``) on a 6-node ring runs
@@ -11,12 +11,14 @@ Seven gates, all dependency-free (run with ``python tools/ci_smoke.py``):
    (an empty cluster root is a valid, reportable state);
 5. ``lint --json`` reports a clean tree under every registered
    invariant rule (the shipped source must stay ``repro lint`` green);
-6. the run-store warehouse round-trips: the same sweep cached under the
+6. ``engines --json`` lists the full simulation-engine ladder
+   (reactive, compiled, batch, cube) with a sane ``auto`` resolution;
+7. the run-store warehouse round-trips: the same sweep cached under the
    jsonl and sqlite backends reports identically (modulo the
    non-canonical timing section), ``query`` answers the worst-case
    lookup from the warehouse without re-sweeping, and ``cache clear``
    reports per-backend removal counts;
-7. no ``DeprecationWarning`` originates from inside ``src/repro`` while
+8. no ``DeprecationWarning`` originates from inside ``src/repro`` while
    doing so -- deprecation shims, if any ever exist, are for external
    callers only; package-internal code must stay on the current API.
 """
@@ -52,8 +54,9 @@ def check_help() -> None:
     )
     if proc.returncode != 0:
         fail(f"--help exited {proc.returncode}: {proc.stderr}")
-    for command in ("run", "sweep", "certify", "explore", "tradeoff",
-                    "experiments", "telemetry", "cluster", "query", "cache"):
+    for command in ("run", "sweep", "certify", "explore", "engines",
+                    "tradeoff", "experiments", "telemetry", "cluster",
+                    "query", "cache"):
         if command not in proc.stdout:
             fail(f"--help does not mention the {command!r} command")
     print("help: OK")
@@ -129,13 +132,22 @@ def check_json_commands() -> None:
     lint = json.loads(lint_out)
     if lint["result"]["ok"] is not True or lint["result"]["findings"] != []:
         fail(f"repro lint found violations: {lint['result']['findings']}")
-    if len(lint["lint"]["rules"]) < 8:
+    if len(lint["lint"]["rules"]) < 9:
         fail(f"lint rule registry shrank: {lint['lint']['rules']}")
     print("lint --json: OK")
 
+    engines_out, engines_warnings = run_cli_capturing(["engines", "--json"])
+    ladder = json.loads(engines_out)
+    listed = [row["engine"] for row in ladder["engines"]]
+    if listed != ["reactive", "compiled", "batch", "cube"]:
+        fail(f"unexpected engine ladder: {listed}")
+    if ladder["auto"]["oblivious"] not in ("cube", "compiled"):
+        fail(f"unexpected auto resolution: {ladder['auto']}")
+    print("engines --json: OK")
+
     offenders = internal_deprecations(
         sweep_warnings + run_warnings + list_warnings + status_warnings
-        + lint_warnings
+        + lint_warnings + engines_warnings
     )
     if offenders:
         lines = "\n".join(
